@@ -1,0 +1,61 @@
+"""Fig. 9 — illustration of the searched architectures for a large and a small scenario.
+
+Expected shape (paper): the architecture searched for the large scenario is
+more complicated (more trainable operations / larger receptive field) than the
+one searched for the small scenario; both respect the FLOPs budget.
+"""
+
+from __future__ import annotations
+
+from common import bench_strategy_config, dataset_a_small, save_result
+
+from repro.meta import MetaLearner
+from repro.nas import BudgetLimitedNAS
+from repro.nn.data import train_test_split
+from repro.strategies import StrategyRunner
+from repro.strategies.config import derive_model_config
+from repro.utils.rng import new_rng
+
+
+def _search_for_scenarios():
+    collection = dataset_a_small()
+    config = bench_strategy_config("lstm")
+    runner = StrategyRunner(collection, config, dataset_name="A")
+    agnostic = runner.pretrain_agnostic()
+    learner = MetaLearner(agnostic, fine_tune_config=config.fine_tune, meta_config=config.meta,
+                          rng=new_rng(0))
+
+    sizes = collection.sizes()
+    large_id = max(sizes, key=sizes.get)
+    small_id = min(sizes, key=sizes.get)
+    budget = runner._light_flops_budget()
+    nas_model_config = runner.light_config.with_overrides(encoder_type="nas")
+
+    searched = {}
+    for label, scenario_id in (("large", large_id), ("small", small_id)):
+        scenario = collection.get(scenario_id)
+        heavy, _ = learner.adapt(scenario.train)
+        nas_train, nas_val = train_test_split(scenario.train, test_fraction=0.3, rng=new_rng(1))
+        searcher = BudgetLimitedNAS(nas_model_config, nas_config=config.nas, rng=new_rng(scenario_id))
+        result = searcher.search(nas_train, nas_val, teacher=heavy, flops_budget=budget)
+        searched[label] = (scenario_id, result)
+    return searched, budget
+
+
+def test_fig9_searched_architectures(benchmark):
+    searched, budget = benchmark.pedantic(_search_for_scenarios, rounds=1, iterations=1)
+    lines = [f"FLOPs budget for the searched behaviour encoder: {budget:.0f}"]
+    for label, (scenario_id, result) in searched.items():
+        lines.append("")
+        lines.append(f"Scenario {scenario_id} ({label} sample size) — "
+                     f"{result.flops} FLOPs, genotype:")
+        lines.append(result.genotype.describe())
+    text = "\n".join(lines)
+    save_result("fig9_searched_architectures", text)
+
+    for label, (_, result) in searched.items():
+        assert result.flops <= budget
+        benchmark.extra_info[f"{label}_flops"] = result.flops
+        benchmark.extra_info[f"{label}_trainable_ops"] = result.genotype.num_trainable_ops()
+    # Both genotypes are valid architectures over the searched space.
+    assert searched["large"][1].genotype.num_layers == searched["small"][1].genotype.num_layers

@@ -1,0 +1,47 @@
+"""Tables I & II — scenario size skew of the Dataset A/B replicas.
+
+The paper's Tables I/II list the per-scenario sample counts of the two
+datasets.  This benchmark regenerates the replicas and reports their sizes,
+checking that the long-tail skew (ordering and rough head/tail ratio) is
+preserved after scaling.
+"""
+
+from __future__ import annotations
+
+from common import dataset_a_small, dataset_b_small, save_result
+
+from repro.data.dataset_a import DATASET_A_SIZES
+from repro.data.dataset_b import DATASET_B_SIZES
+from repro.experiments import format_table
+
+
+def _size_table(collection, paper_sizes, name):
+    rows = []
+    for scenario, paper_size in zip(collection, paper_sizes):
+        rows.append({
+            "scenario": scenario.scenario_id,
+            "paper_size": paper_size,
+            "replica_size": scenario.total_size,
+            "positive_rate": round(scenario.train.positive_rate, 3),
+        })
+    return format_table(rows, title=f"{name}: scenario sizes (paper vs replica)")
+
+
+def test_table1_dataset_a_sizes(benchmark):
+    collection = benchmark.pedantic(dataset_a_small, rounds=1, iterations=1)
+    text = _size_table(collection, DATASET_A_SIZES, "Table I / Dataset A")
+    save_result("table1_dataset_a", text)
+    sizes = [s.total_size for s in collection]
+    # The head/tail ordering of Table I is preserved.
+    assert sizes[0] == max(sizes)
+    assert sizes[0] > sizes[-1]
+    assert len(sizes) == 18
+
+
+def test_table2_dataset_b_sizes(benchmark):
+    collection = benchmark.pedantic(dataset_b_small, rounds=1, iterations=1)
+    text = _size_table(collection, DATASET_B_SIZES, "Table II / Dataset B")
+    save_result("table2_dataset_b", text)
+    sizes = [s.total_size for s in collection]
+    assert len(sizes) == 32
+    assert sizes[0] == max(sizes)

@@ -1,0 +1,41 @@
+"""Table III — AUC of SinH / MeH / MeL / Ours on Dataset A (LSTM- and BERT-based).
+
+Expected shape (paper): the best average AUC is achieved by MeH or Ours; Ours
+stays close to MeH while MeL and SinH trail, and every strategy is far above
+random (0.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import bench_strategy_config, dataset_a_small, save_result
+
+from repro.experiments import format_average_row, format_comparison_table
+from repro.strategies import StrategyRunner
+
+STRATEGIES = ("sinh", "meh", "mel", "ours")
+
+
+def _run_family(encoder_type: str):
+    collection = dataset_a_small()
+    runner = StrategyRunner(collection, bench_strategy_config(encoder_type), dataset_name="A")
+    return runner.run(STRATEGIES)
+
+
+@pytest.mark.parametrize("encoder_type", ["lstm", "bert"])
+def test_table3_dataset_a(benchmark, encoder_type):
+    comparison = benchmark.pedantic(_run_family, args=(encoder_type,), rounds=1, iterations=1)
+    text = format_comparison_table(comparison, title=f"Table III / Dataset A ({encoder_type}-based)")
+    save_result(f"table3_dataset_a_{encoder_type}", text + "\n" + format_average_row(comparison))
+
+    averages = comparison.average_row()
+    benchmark.extra_info.update({f"avg_auc_{k}": round(v, 4) for k, v in averages.items()})
+    # Every strategy learns something.
+    assert all(value > 0.55 for value in averages.values())
+    # Meta-learning on pooled scenarios beats training each scenario alone.
+    assert averages["meh"] > averages["sinh"]
+    # The best strategy is MeH or Ours, as in the paper.
+    best = max(averages, key=averages.get)
+    assert best in ("meh", "ours")
+    # The searched light model stays within a modest gap of the heavy model.
+    assert averages["ours"] >= averages["meh"] - 0.09

@@ -1,0 +1,48 @@
+"""Table IV — AUC of SinH / MeH / MeL / Ours on Dataset B (advertising, 32 scenarios).
+
+Expected shape (paper): identical to Table III — MeH/Ours lead, the benefit of
+pooling related scenarios is largest on the small tail scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from common import bench_strategy_config, dataset_b_small, save_result
+
+from repro.experiments import format_average_row, format_comparison_table
+from repro.strategies import StrategyRunner
+
+STRATEGIES = ("sinh", "meh", "mel", "ours")
+
+
+def _run_family(encoder_type: str):
+    collection = dataset_b_small()
+    runner = StrategyRunner(collection, bench_strategy_config(encoder_type, seed=3), dataset_name="B")
+    return runner.run(STRATEGIES)
+
+
+@pytest.mark.parametrize("encoder_type", ["lstm", "bert"])
+def test_table4_dataset_b(benchmark, encoder_type):
+    comparison = benchmark.pedantic(_run_family, args=(encoder_type,), rounds=1, iterations=1)
+    text = format_comparison_table(comparison, title=f"Table IV / Dataset B ({encoder_type}-based)")
+    save_result(f"table4_dataset_b_{encoder_type}", text + "\n" + format_average_row(comparison))
+
+    averages = comparison.average_row()
+    benchmark.extra_info.update({f"avg_auc_{k}": round(v, 4) for k, v in averages.items()})
+    assert all(value > 0.52 for value in averages.values())
+    assert averages["meh"] > averages["sinh"]
+    assert max(averages, key=averages.get) in ("meh", "ours")
+
+    # The pooling benefit (MeH - SinH) is largest on the smallest (tail) scenarios.
+    collection = dataset_b_small()
+    sizes = collection.sizes()
+    ids = sorted(sizes, key=sizes.get)
+    tail, head = ids[:8], ids[-8:]
+    gain = {sid: comparison.results["meh"].auc(sid) - comparison.results["sinh"].auc(sid)
+            for sid in sizes}
+    tail_gain = float(np.mean([gain[s] for s in tail]))
+    head_gain = float(np.mean([gain[s] for s in head]))
+    benchmark.extra_info["tail_gain"] = round(tail_gain, 4)
+    benchmark.extra_info["head_gain"] = round(head_gain, 4)
+    assert tail_gain > -0.02  # pooling never hurts the tail on average

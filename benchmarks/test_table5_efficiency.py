@@ -1,0 +1,59 @@
+"""Table V — averaged FLOPs and inference time of Heavy / pre-defined Light / Ours.
+
+Expected shape (paper): FLOPs(Ours) < FLOPs(Light) < FLOPs(Heavy) and the same
+ordering for inference latency on both datasets and both encoder families.
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import bench_strategy_config, dataset_a_small, dataset_b_small, save_result
+
+from repro.experiments import format_table
+from repro.nn.flops import format_flops
+from repro.strategies import StrategyRunner
+
+# Heavy = the MeH serving model, Light = the pre-defined light model (MeL),
+# Ours = the budget-NAS searched model, exactly the three columns of Table V.
+STRATEGY_TO_COLUMN = {"meh": "Heavy", "mel": "Light", "ours": "Ours"}
+
+
+def _efficiency(dataset_name: str, encoder_type: str):
+    collection = dataset_a_small() if dataset_name == "A" else dataset_b_small()
+    # A subset of scenarios is enough for the efficiency comparison.
+    scenario_ids = collection.ids()[:6]
+    runner = StrategyRunner(collection, bench_strategy_config(encoder_type), dataset_name=dataset_name)
+    comparison = runner.run(("meh", "mel", "ours"), scenario_ids=scenario_ids,
+                            measure_efficiency=True)
+    return comparison
+
+
+@pytest.mark.parametrize("dataset_name", ["A", "B"])
+@pytest.mark.parametrize("encoder_type", ["lstm", "bert"])
+def test_table5_efficiency(benchmark, dataset_name, encoder_type):
+    comparison = benchmark.pedantic(_efficiency, args=(dataset_name, encoder_type),
+                                    rounds=1, iterations=1)
+    rows = []
+    for strategy, column in STRATEGY_TO_COLUMN.items():
+        result = comparison.results[strategy]
+        rows.append({
+            "model": column,
+            "flops": format_flops(result.average_flops),
+            "inference_ms": round(result.average_latency_ms, 2),
+            "avg_auc": round(result.average_auc, 3),
+        })
+    text = format_table(rows, title=f"Table V / Dataset {dataset_name} ({encoder_type}-based)")
+    save_result(f"table5_efficiency_{dataset_name}_{encoder_type}", text)
+
+    heavy = comparison.results["meh"]
+    light = comparison.results["mel"]
+    ours = comparison.results["ours"]
+    benchmark.extra_info.update({
+        "heavy_flops": heavy.average_flops,
+        "light_flops": light.average_flops,
+        "ours_flops": ours.average_flops,
+    })
+    # The paper's ordering: the searched model is the lightest, the heavy model the costliest.
+    assert ours.average_flops <= light.average_flops
+    assert light.average_flops < heavy.average_flops
+    assert ours.average_latency_ms < heavy.average_latency_ms

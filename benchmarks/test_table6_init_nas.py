@@ -1,0 +1,80 @@
+"""Table VI — benefit of NAS for initialising the scenario agnostic model.
+
+For different numbers of initial scenarios {2, 4, 8, 16}, compare the
+pre-defined LSTM / BERT heavy architectures against an architecture found by
+the evolutionary NAS, all trained on the pooled initial data and evaluated on
+a leave-out validation split.
+
+Expected shape (paper): the NAS-initialised model matches or beats the
+pre-defined architectures at every pool size, and every method improves as
+more initial scenarios are pooled.
+"""
+
+from __future__ import annotations
+
+from common import bench_strategy_config, dataset_a_small, save_result
+
+from repro.experiments import format_table
+from repro.models.factory import build_model, build_nas_model
+from repro.nas import EvolutionConfig, EvolutionaryNAS, SequenceSearchSpace
+from repro.nn.data import train_test_split
+from repro.strategies.config import derive_model_config
+from repro.training.trainer import TrainingConfig, evaluate_auc, train_supervised
+from repro.utils.rng import new_rng
+
+INITIAL_COUNTS = (2, 4, 8, 16)
+TRAIN = TrainingConfig(epochs=2, batch_size=64, learning_rate=0.01)
+
+
+def _evaluate_initialisations():
+    collection = dataset_a_small()
+    config = bench_strategy_config("lstm")
+    rows = []
+    for count in INITIAL_COUNTS:
+        initial = collection.select_initial(count, rng=new_rng(count))
+        pooled = collection.pooled_train(initial)
+        train, val = train_test_split(pooled, test_fraction=0.25, rng=new_rng(count + 1))
+        row = {"initial_scenarios": count}
+        for encoder in ("lstm", "bert"):
+            model_config = derive_model_config(collection, config, num_layers=config.heavy_layers,
+                                               encoder_type=encoder)
+            model = build_model(model_config, rng=new_rng(10 * count))
+            train_supervised(model, train, TRAIN, rng=new_rng(20 * count))
+            row[encoder] = round(evaluate_auc(model, val), 4)
+
+        nas_config = derive_model_config(collection, config, num_layers=2, encoder_type="nas")
+        space = SequenceSearchSpace(num_layers=2, candidates=list(config.nas.candidates))
+
+        def fitness(genotype):
+            model = build_nas_model(nas_config, genotype, rng=new_rng(30 * count))
+            train_supervised(model, train, TrainingConfig(epochs=1, batch_size=64, learning_rate=0.01),
+                             rng=new_rng(40 * count))
+            return evaluate_auc(model, val)
+
+        search = EvolutionaryNAS(space, fitness,
+                                 EvolutionConfig(population_size=4, generations=1,
+                                                 seq_len=nas_config.max_seq_len,
+                                                 channels=nas_config.embed_dim),
+                                 rng=new_rng(50 * count))
+        result = search.search()
+        best_model = build_nas_model(nas_config, result.best_genotype, rng=new_rng(60 * count))
+        train_supervised(best_model, train, TRAIN, rng=new_rng(70 * count))
+        row["nas"] = round(evaluate_auc(best_model, val), 4)
+        rows.append(row)
+    return rows
+
+
+def test_table6_nas_for_initialisation(benchmark):
+    rows = benchmark.pedantic(_evaluate_initialisations, rounds=1, iterations=1)
+    text = format_table(rows, title="Table VI / averaged AUC of pre-defined LSTM/BERT vs NAS init")
+    save_result("table6_init_nas", text)
+
+    for row in rows:
+        benchmark.extra_info[f"init_{row['initial_scenarios']}"] = row
+    # Across the pool sizes, the NAS-initialised model is competitive with the
+    # pre-designed architectures (the paper reports it slightly ahead).
+    nas_mean = sum(row["nas"] for row in rows) / len(rows)
+    predesigned_mean = sum(min(row["lstm"], row["bert"]) for row in rows) / len(rows)
+    assert nas_mean >= predesigned_mean - 0.03
+    # Pooling more initial scenarios helps the NAS-initialised general model.
+    assert rows[-1]["nas"] >= rows[0]["nas"] - 0.02

@@ -1,0 +1,57 @@
+"""Table VII & Fig. 10 — benefit of leveraging behaviour sequences.
+
+Under the SinH protocol, compare the profile-only Basic model against the
+LSTM-based and BERT-based sequence models on Dataset A.
+
+Expected shape (paper): both sequence families beat the Basic model on
+average (the paper reports ~+1.5-1.7% AUC); the accumulated per-scenario AUC
+of Fig. 10 is reproduced as the per-scenario table.
+"""
+
+from __future__ import annotations
+
+from common import bench_strategy_config, dataset_a_small, save_result
+
+from repro.experiments import format_table
+from repro.strategies import StrategyRunner
+
+
+def _run_sequence_ablation():
+    collection = dataset_a_small()
+    results = {}
+    # Basic and LSTM come from the LSTM-family runner, BERT from the BERT-family runner.
+    lstm_runner = StrategyRunner(collection, bench_strategy_config("lstm"), dataset_name="A")
+    lstm_comp = lstm_runner.run(("basic", "sinh"))
+    results["basic"] = lstm_comp.results["basic"]
+    results["lstm"] = lstm_comp.results["sinh"]
+    bert_runner = StrategyRunner(collection, bench_strategy_config("bert"), dataset_name="A")
+    results["bert"] = bert_runner.run(("sinh",)).results["sinh"]
+    return results
+
+
+def test_table7_fig10_behavior_sequences(benchmark):
+    results = benchmark.pedantic(_run_sequence_ablation, rounds=1, iterations=1)
+    scenario_ids = sorted(results["basic"].per_scenario_auc)
+    rows = [{
+        "scenario": sid,
+        "basic": results["basic"].auc(sid),
+        "lstm": results["lstm"].auc(sid),
+        "bert": results["bert"].auc(sid),
+    } for sid in scenario_ids]
+    rows.append({"scenario": "AVG",
+                 "basic": results["basic"].average_auc,
+                 "lstm": results["lstm"].average_auc,
+                 "bert": results["bert"].average_auc})
+    text = format_table(rows, title="Table VII / Fig. 10: AUC with and without behaviour sequences")
+    save_result("table7_fig10_sequences", text)
+
+    basic = results["basic"].average_auc
+    lstm = results["lstm"].average_auc
+    bert = results["bert"].average_auc
+    benchmark.extra_info.update({"basic": round(basic, 4), "lstm": round(lstm, 4),
+                                 "bert": round(bert, 4)})
+    # The better sequence family is at least on par with the profile-only
+    # baseline (the paper's gap is small, ~1.5%; at benchmark scale it sits
+    # within run-to-run noise, so a small tolerance is allowed).
+    assert max(lstm, bert) > basic - 0.015
+    assert (lstm + bert) / 2 > basic - 0.03

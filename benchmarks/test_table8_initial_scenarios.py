@@ -1,0 +1,47 @@
+"""Table VIII — effect of the number of initial scenarios {2, 4, 8, 16}.
+
+BERT-based models, Dataset A: SinH / MeH / MeL / Ours averaged AUC as the
+initial pool grows.
+
+Expected shape (paper): MeH is the best at every pool size, Ours tracks it
+closely, and the meta-based strategies improve with more initial scenarios
+while SinH (which ignores the pool) stays flat.
+"""
+
+from __future__ import annotations
+
+from common import bench_strategy_config, dataset_a_small, save_result
+
+from repro.experiments import format_table
+from repro.strategies import StrategyRunner
+
+INITIAL_COUNTS = (2, 4, 8, 16)
+# A fixed evaluation subset keeps the sweep affordable while covering head and tail.
+EVAL_SCENARIOS = (1, 2, 3, 5, 7, 9, 12, 15, 17, 18)
+
+
+def _sweep_initial_counts():
+    collection = dataset_a_small()
+    rows = []
+    per_count = {}
+    for count in INITIAL_COUNTS:
+        config = bench_strategy_config("bert", n_initial=count, seed=count)
+        runner = StrategyRunner(collection, config, dataset_name="A")
+        comparison = runner.run(("sinh", "meh", "mel", "ours"), scenario_ids=EVAL_SCENARIOS)
+        averages = comparison.average_row()
+        per_count[count] = averages
+        rows.append({"initial": count, **{k: round(v, 4) for k, v in averages.items()}})
+    return rows, per_count
+
+
+def test_table8_initial_scenarios(benchmark):
+    rows, per_count = benchmark.pedantic(_sweep_initial_counts, rounds=1, iterations=1)
+    text = format_table(rows, title="Table VIII / averaged AUC vs number of initial scenarios (BERT)")
+    save_result("table8_initial_scenarios", text)
+
+    for count, averages in per_count.items():
+        benchmark.extra_info[f"init_{count}"] = {k: round(v, 4) for k, v in averages.items()}
+        # The meta strategies dominate per-scenario training at every pool size.
+        assert max(averages["meh"], averages["ours"]) >= averages["sinh"] - 0.01
+    # More initial scenarios should not hurt the meta-heavy strategy.
+    assert per_count[16]["meh"] >= per_count[2]["meh"] - 0.03

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work in fully offline
+environments that lack the ``wheel`` package (legacy ``setup.py develop``
+path via ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro — reproduction of "ALT: An Automatic System for Long Tail Scenario Modeling".
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn` — numpy autograd + layers/optimisers (the DL substrate),
+* :mod:`repro.models` — the Fig. 2 model family (profile/behaviour encoders),
+* :mod:`repro.meta` — scenario agnostic/specific heavy models (Eq. 1-3) and distillation,
+* :mod:`repro.automl` — AntTune-style hyper-parameter optimisation,
+* :mod:`repro.nas` — the budget-limited neural architecture search (Sec. III-D),
+* :mod:`repro.system` — feature factory, data preparation, serving, orchestrator (Fig. 7),
+* :mod:`repro.data` — synthetic replicas of datasets A/B and the online task,
+* :mod:`repro.strategies` — the SinH / MeH / MeL / Ours evaluation pipelines (Sec. V).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

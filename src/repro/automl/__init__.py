@@ -1,0 +1,44 @@
+"""AntTune-style hyper-parameter optimisation (Sec. IV-C, Fig. 8)."""
+
+from repro.automl.algorithms import (
+    RACOS,
+    BayesianOptimization,
+    EvolutionarySearch,
+    GridSearch,
+    RandomSearch,
+    SearchAlgorithm,
+)
+from repro.automl.presets import apply_params_to_config, pre_designed_model_space
+from repro.automl.pruners import MedianPruner, NoPruner, Pruner
+from repro.automl.search_space import Choice, IntUniform, LogUniform, ParamSpec, SearchSpace, Uniform
+from repro.automl.server import AntTuneClient, AntTuneServer, TuneJob
+from repro.automl.study import Study, StudyConfig
+from repro.automl.trial import PrunedTrial, Trial, TrialState
+
+__all__ = [
+    "SearchSpace",
+    "ParamSpec",
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "Choice",
+    "Trial",
+    "TrialState",
+    "PrunedTrial",
+    "Study",
+    "StudyConfig",
+    "Pruner",
+    "NoPruner",
+    "MedianPruner",
+    "SearchAlgorithm",
+    "RandomSearch",
+    "GridSearch",
+    "EvolutionarySearch",
+    "BayesianOptimization",
+    "RACOS",
+    "AntTuneServer",
+    "AntTuneClient",
+    "TuneJob",
+    "pre_designed_model_space",
+    "apply_params_to_config",
+]

@@ -1,0 +1,18 @@
+"""Hyper-parameter search algorithms implemented in AntTune (Sec. IV-C)."""
+
+from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.algorithms.bayesian import BayesianOptimization
+from repro.automl.algorithms.evolutionary import EvolutionarySearch
+from repro.automl.algorithms.grid_search import GridSearch
+from repro.automl.algorithms.racos import RACOS
+from repro.automl.algorithms.random_search import RandomSearch
+
+__all__ = [
+    "SearchAlgorithm",
+    "completed_trials",
+    "RandomSearch",
+    "GridSearch",
+    "EvolutionarySearch",
+    "BayesianOptimization",
+    "RACOS",
+]

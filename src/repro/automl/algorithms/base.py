@@ -1,0 +1,38 @@
+"""Common interface of hyper-parameter search algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import Trial, TrialState
+
+__all__ = ["SearchAlgorithm", "completed_trials"]
+
+
+def completed_trials(history: List[Trial]) -> List[Trial]:
+    """Trials with a usable objective value."""
+    return [t for t in history if t.state == TrialState.COMPLETED and t.value is not None]
+
+
+class SearchAlgorithm:
+    """ask/tell interface: propose configurations given the trial history.
+
+    Algorithms are stateless with respect to the study; all information they
+    need is contained in the history passed to :meth:`ask`, which makes the
+    fault-tolerant retry logic of the study trivial.
+    """
+
+    name: str = "base"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def ask(self, space: SearchSpace, history: List[Trial], maximize: bool) -> Dict[str, object]:
+        """Return the next configuration to evaluate."""
+        raise NotImplementedError
+
+    def tell(self, trial: Trial) -> None:
+        """Optional hook invoked after a trial finishes (default: no-op)."""

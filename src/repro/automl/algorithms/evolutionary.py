@@ -1,0 +1,51 @@
+"""Evolutionary hyper-parameter search (a (mu + lambda)-style strategy).
+
+The paper lists evolutionary algorithms (CMA-ES [32]) among the implemented
+optimisers of AntTune.  We implement a simple real-coded evolution strategy in
+the unit hyper-cube: parents are the best completed trials, children are
+Gaussian perturbations, occasionally recombined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import Trial
+
+__all__ = ["EvolutionarySearch"]
+
+
+class EvolutionarySearch(SearchAlgorithm):
+    """Gaussian-mutation evolution strategy in the unit hyper-cube."""
+
+    name = "evolutionary"
+
+    def __init__(self, population_size: int = 6, sigma: float = 0.15,
+                 crossover_probability: float = 0.3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng=rng)
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.population_size = population_size
+        self.sigma = sigma
+        self.crossover_probability = crossover_probability
+
+    def ask(self, space: SearchSpace, history: List[Trial], maximize: bool) -> Dict[str, object]:
+        finished = completed_trials(history)
+        if len(finished) < self.population_size:
+            return space.sample(self._rng)
+        ranked = sorted(finished, key=lambda t: t.value, reverse=maximize)
+        elite = ranked[: self.population_size]
+        parent = elite[int(self._rng.integers(0, len(elite)))]
+        vector = space.to_unit(parent.params)
+        if self._rng.random() < self.crossover_probability and len(elite) > 1:
+            other = elite[int(self._rng.integers(0, len(elite)))]
+            other_vec = space.to_unit(other.params)
+            mask = self._rng.random(space.dimension) < 0.5
+            vector = np.where(mask, vector, other_vec)
+        child = np.clip(vector + self._rng.normal(0.0, self.sigma, size=space.dimension), 0.0, 1.0)
+        return space.from_unit(child)

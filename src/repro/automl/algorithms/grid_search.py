@@ -1,0 +1,40 @@
+"""Exhaustive grid search over a discretised search space."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import Trial
+
+__all__ = ["GridSearch"]
+
+
+class GridSearch(SearchAlgorithm):
+    """Walk the Cartesian grid of per-parameter values in order.
+
+    When the grid is exhausted (e.g. the study asks for more trials than grid
+    points), sampling falls back to random search so the study can continue.
+    """
+
+    name = "grid"
+
+    def __init__(self, resolution: int = 3, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng=rng)
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        self.resolution = resolution
+        self._grid: Optional[List[Dict[str, object]]] = None
+        self._cursor = 0
+
+    def ask(self, space: SearchSpace, history: List[Trial], maximize: bool) -> Dict[str, object]:
+        if self._grid is None:
+            self._grid = space.grid(self.resolution)
+        if self._cursor < len(self._grid):
+            params = self._grid[self._cursor]
+            self._cursor += 1
+            return dict(params)
+        return space.sample(self._rng)

@@ -1,0 +1,88 @@
+"""RACOS: classification-based derivative-free optimisation (Yu, Qian & Hu, 2016).
+
+RACOS is AntTune's default optimiser in the paper (Sec. IV-C) thanks to its
+efficiency and flexibility.  The idea: keep the evaluated configurations,
+split them into a small positive set (the best ones) and a negative set, learn
+an axis-aligned hyper-rectangle that contains a chosen positive sample but
+excludes the negative samples, and sample the next configuration inside that
+region (with a small probability of sampling globally for exploration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import Trial
+
+__all__ = ["RACOS"]
+
+
+class RACOS(SearchAlgorithm):
+    """Simplified sequential RACOS in the unit hyper-cube."""
+
+    name = "racos"
+
+    def __init__(self, positive_fraction: float = 0.2, exploration: float = 0.1,
+                 max_shrink_rounds: int = 20, min_positives: int = 2,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(rng=rng)
+        if not 0.0 < positive_fraction < 1.0:
+            raise ValueError("positive_fraction must be in (0, 1)")
+        if not 0.0 <= exploration <= 1.0:
+            raise ValueError("exploration must be in [0, 1]")
+        self.positive_fraction = positive_fraction
+        self.exploration = exploration
+        self.max_shrink_rounds = max_shrink_rounds
+        self.min_positives = min_positives
+
+    # ------------------------------------------------------------------ #
+    # Region learning
+    # ------------------------------------------------------------------ #
+    def _learn_region(self, anchor: np.ndarray, negatives: np.ndarray,
+                      dimension: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Shrink the unit cube around ``anchor`` until it excludes all negatives."""
+        lower = np.zeros(dimension)
+        upper = np.ones(dimension)
+
+        def contains(points: np.ndarray) -> np.ndarray:
+            return np.all((points >= lower - 1e-12) & (points <= upper + 1e-12), axis=1)
+
+        rounds = 0
+        while negatives.size and contains(negatives).any() and rounds < self.max_shrink_rounds * dimension:
+            rounds += 1
+            inside = negatives[contains(negatives)]
+            sample = inside[int(self._rng.integers(0, len(inside)))]
+            dim = int(self._rng.integers(0, dimension))
+            if sample[dim] >= anchor[dim]:
+                # Shrink the upper bound to a point between the anchor and the negative.
+                new_upper = self._rng.uniform(anchor[dim], sample[dim])
+                upper[dim] = min(upper[dim], max(new_upper, anchor[dim]))
+            else:
+                new_lower = self._rng.uniform(sample[dim], anchor[dim])
+                lower[dim] = max(lower[dim], min(new_lower, anchor[dim]))
+        return lower, upper
+
+    # ------------------------------------------------------------------ #
+    # ask
+    # ------------------------------------------------------------------ #
+    def ask(self, space: SearchSpace, history: List[Trial], maximize: bool) -> Dict[str, object]:
+        finished = completed_trials(history)
+        if len(finished) < max(self.min_positives * 2, 4) or self._rng.random() < self.exploration:
+            return space.sample(self._rng)
+        ranked = sorted(finished, key=lambda t: t.value, reverse=maximize)
+        n_pos = max(self.min_positives, int(round(len(ranked) * self.positive_fraction)))
+        positives = ranked[:n_pos]
+        negatives = ranked[n_pos:]
+        anchor_trial = positives[int(self._rng.integers(0, len(positives)))]
+        anchor = space.to_unit(anchor_trial.params)
+        negative_matrix = (
+            np.array([space.to_unit(t.params) for t in negatives])
+            if negatives else np.empty((0, space.dimension))
+        )
+        lower, upper = self._learn_region(anchor, negative_matrix, space.dimension)
+        sample = lower + self._rng.random(space.dimension) * np.maximum(upper - lower, 1e-12)
+        return space.from_unit(sample)

@@ -1,0 +1,20 @@
+"""Random search (Bergstra & Bengio, 2012)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import Trial
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchAlgorithm):
+    """Sample each trial independently and uniformly from the search space."""
+
+    name = "random"
+
+    def ask(self, space: SearchSpace, history: List[Trial], maximize: bool) -> Dict[str, object]:
+        return space.sample(self._rng)

@@ -1,0 +1,50 @@
+"""Pre-built search spaces for the pre-designed architecture (Fig. 3).
+
+The paper's example configuration searches the learning rate, the MLP layer
+dimensions of the profile encoding module, the number of transformer encoders
+in the behaviour encoding module, and the MLP layer dimensions of the
+prediction module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.automl.search_space import Choice, IntUniform, LogUniform, SearchSpace
+from repro.models.config import ModelConfig
+
+__all__ = ["pre_designed_model_space", "apply_params_to_config"]
+
+
+def pre_designed_model_space(max_encoder_layers: int = 6) -> SearchSpace:
+    """The Fig. 3 hyper-parameter space for the pre-designed heavy architecture."""
+    return SearchSpace({
+        "learning_rate": LogUniform(1e-4, 1e-2),
+        "profile_hidden": Choice((
+            (16, 8),
+            (32, 16),
+            (64, 16),
+            (64, 32),
+        )),
+        "num_encoder_layers": IntUniform(1, max_encoder_layers),
+        "head_hidden": Choice((
+            (8,),
+            (16,),
+            (32,),
+            (32, 16),
+        )),
+    })
+
+
+def apply_params_to_config(config: ModelConfig, params: Dict[str, object]) -> ModelConfig:
+    """Apply a sampled Fig. 3 configuration to a base :class:`ModelConfig`."""
+    overrides: Dict[str, object] = {}
+    if "learning_rate" in params:
+        overrides["learning_rate"] = float(params["learning_rate"])
+    if "profile_hidden" in params:
+        overrides["profile_hidden"] = tuple(params["profile_hidden"])
+    if "num_encoder_layers" in params:
+        overrides["num_encoder_layers"] = int(params["num_encoder_layers"])
+    if "head_hidden" in params:
+        overrides["head_hidden"] = tuple(params["head_hidden"])
+    return config.with_overrides(**overrides)

@@ -1,0 +1,51 @@
+"""Early-stopping (pruning) policies for futureless trials (Sec. IV-C)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.automl.trial import Trial, TrialState
+
+__all__ = ["Pruner", "NoPruner", "MedianPruner"]
+
+
+class Pruner:
+    """Decide whether a running trial should be stopped early."""
+
+    def should_prune(self, trial: Trial, history: List[Trial], maximize: bool) -> bool:
+        raise NotImplementedError
+
+
+class NoPruner(Pruner):
+    """Never prune."""
+
+    def should_prune(self, trial: Trial, history: List[Trial], maximize: bool) -> bool:
+        return False
+
+
+class MedianPruner(Pruner):
+    """Prune a trial whose latest intermediate value is worse than the median
+    of completed trials' values at the same step.
+
+    Attributes:
+        warmup_steps: number of intermediate reports to wait before pruning.
+        min_trials: number of completed trials required before pruning starts.
+    """
+
+    def __init__(self, warmup_steps: int = 1, min_trials: int = 3) -> None:
+        self.warmup_steps = warmup_steps
+        self.min_trials = min_trials
+
+    def should_prune(self, trial: Trial, history: List[Trial], maximize: bool) -> bool:
+        step = len(trial.intermediate_values)
+        if step <= self.warmup_steps:
+            return False
+        completed = [t for t in history
+                     if t.state == TrialState.COMPLETED and len(t.intermediate_values) >= step]
+        if len(completed) < self.min_trials:
+            return False
+        reference = np.median([t.intermediate_values[step - 1] for t in completed])
+        latest = trial.intermediate_values[-1]
+        return latest < reference if maximize else latest > reference

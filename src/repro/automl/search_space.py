@@ -1,0 +1,211 @@
+"""Hyper-parameter search spaces (Fig. 3 style configuration).
+
+A :class:`SearchSpace` is an ordered mapping from parameter names to
+:class:`ParamSpec` objects.  Besides sampling, the space can encode any
+configuration to a point in the unit hyper-cube and back, which is what the
+model-based optimisers (Bayesian optimisation, RACOS) operate on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+
+__all__ = ["ParamSpec", "Uniform", "LogUniform", "IntUniform", "Choice", "SearchSpace"]
+
+
+class ParamSpec:
+    """Base class of one hyper-parameter's domain."""
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def to_unit(self, value) -> float:
+        """Map a value into [0, 1]."""
+        raise NotImplementedError
+
+    def from_unit(self, unit: float):
+        """Map a [0, 1] coordinate back to a value in the domain."""
+        raise NotImplementedError
+
+    def grid(self, resolution: int) -> List:
+        """A finite set of representative values (used by grid search)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Uniform(ParamSpec):
+    """A float drawn uniformly from [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise SearchSpaceError(f"Uniform requires low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def to_unit(self, value: float) -> float:
+        return float(np.clip((value - self.low) / (self.high - self.low), 0.0, 1.0))
+
+    def from_unit(self, unit: float) -> float:
+        return float(self.low + np.clip(unit, 0.0, 1.0) * (self.high - self.low))
+
+    def grid(self, resolution: int) -> List[float]:
+        return [self.from_unit(u) for u in np.linspace(0, 1, resolution)]
+
+
+@dataclass(frozen=True)
+class LogUniform(ParamSpec):
+    """A float drawn log-uniformly from [low, high] (e.g. learning rates)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low < self.high:
+            raise SearchSpaceError(f"LogUniform requires 0 < low < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+
+    def to_unit(self, value: float) -> float:
+        span = math.log(self.high) - math.log(self.low)
+        return float(np.clip((math.log(value) - math.log(self.low)) / span, 0.0, 1.0))
+
+    def from_unit(self, unit: float) -> float:
+        span = math.log(self.high) - math.log(self.low)
+        return float(math.exp(math.log(self.low) + np.clip(unit, 0.0, 1.0) * span))
+
+    def grid(self, resolution: int) -> List[float]:
+        return [self.from_unit(u) for u in np.linspace(0, 1, resolution)]
+
+
+@dataclass(frozen=True)
+class IntUniform(ParamSpec):
+    """An integer drawn uniformly from [low, high] inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise SearchSpaceError(f"IntUniform requires low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def to_unit(self, value: int) -> float:
+        if self.high == self.low:
+            return 0.0
+        return float(np.clip((value - self.low) / (self.high - self.low), 0.0, 1.0))
+
+    def from_unit(self, unit: float) -> int:
+        value = self.low + np.clip(unit, 0.0, 1.0) * (self.high - self.low)
+        return int(np.clip(round(value), self.low, self.high))
+
+    def grid(self, resolution: int) -> List[int]:
+        count = min(resolution, self.high - self.low + 1)
+        values = np.linspace(self.low, self.high, count)
+        return sorted({int(round(v)) for v in values})
+
+
+@dataclass(frozen=True)
+class Choice(ParamSpec):
+    """A categorical parameter (e.g. MLP layer-size tuples, encoder counts)."""
+
+    options: Tuple
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 1:
+            raise SearchSpaceError("Choice requires at least one option")
+
+    def sample(self, rng: np.random.Generator):
+        index = int(rng.integers(0, len(self.options)))
+        return self.options[index]
+
+    def to_unit(self, value) -> float:
+        try:
+            index = self.options.index(value)
+        except ValueError as exc:
+            raise SearchSpaceError(f"value {value!r} not among options {self.options}") from exc
+        if len(self.options) == 1:
+            return 0.0
+        return index / (len(self.options) - 1)
+
+    def from_unit(self, unit: float):
+        if len(self.options) == 1:
+            return self.options[0]
+        index = int(np.clip(round(unit * (len(self.options) - 1)), 0, len(self.options) - 1))
+        return self.options[index]
+
+    def grid(self, resolution: int) -> List:
+        return list(self.options)
+
+
+class SearchSpace:
+    """An ordered collection of named hyper-parameters."""
+
+    def __init__(self, params: Dict[str, ParamSpec]) -> None:
+        if not params:
+            raise SearchSpaceError("search space must contain at least one parameter")
+        for name, spec in params.items():
+            if not isinstance(spec, ParamSpec):
+                raise SearchSpaceError(f"parameter {name!r} is not a ParamSpec: {spec!r}")
+        self._params: Dict[str, ParamSpec] = dict(params)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> List[str]:
+        return list(self._params.keys())
+
+    @property
+    def dimension(self) -> int:
+        return len(self._params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __getitem__(self, name: str) -> ParamSpec:
+        return self._params[name]
+
+    def items(self) -> Iterator[Tuple[str, ParamSpec]]:
+        return iter(self._params.items())
+
+    # ------------------------------------------------------------------ #
+    # Sampling / encoding
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator) -> Dict[str, object]:
+        return {name: spec.sample(rng) for name, spec in self._params.items()}
+
+    def to_unit(self, params: Dict[str, object]) -> np.ndarray:
+        missing = [name for name in self._params if name not in params]
+        if missing:
+            raise SearchSpaceError(f"missing parameters {missing}")
+        return np.array([spec.to_unit(params[name]) for name, spec in self._params.items()])
+
+    def from_unit(self, vector: Sequence[float]) -> Dict[str, object]:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise SearchSpaceError(f"expected vector of dim {self.dimension}, got {vector.shape}")
+        return {
+            name: spec.from_unit(float(vector[i]))
+            for i, (name, spec) in enumerate(self._params.items())
+        }
+
+    def grid(self, resolution: int = 3) -> List[Dict[str, object]]:
+        """Cartesian product of per-parameter grids (used by grid search)."""
+        value_lists = [(name, spec.grid(resolution)) for name, spec in self._params.items()]
+        combinations: List[Dict[str, object]] = [{}]
+        for name, values in value_lists:
+            combinations = [dict(c, **{name: v}) for c in combinations for v in values]
+        return combinations

@@ -1,0 +1,129 @@
+"""A small in-process simulation of the AntTune client/server architecture (Fig. 8).
+
+In the paper, an SDK submits a tuning request (search space + limits) to a
+tune server, which generates candidate trials, dispatches them to distributed
+executors, collects the metrics and finally returns the best model
+configuration.  Offline we model the same flow: the server owns studies keyed
+by job id, trials are assigned round-robin to a pool of named (simulated)
+workers, and the client polls for the best result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.pruners import Pruner
+from repro.automl.search_space import SearchSpace
+from repro.automl.study import Study, StudyConfig
+from repro.automl.trial import Trial
+from repro.exceptions import TrialError
+from repro.utils.rng import new_rng
+
+__all__ = ["TuneJob", "AntTuneServer", "AntTuneClient"]
+
+Objective = Callable[[Trial], float]
+
+
+@dataclass
+class TuneJob:
+    """One submitted hyper-parameter optimisation job."""
+
+    job_id: int
+    study: Study
+    objective: Objective
+    workers: List[str] = field(default_factory=lambda: ["worker-0"])
+    finished: bool = False
+
+    @property
+    def best_trial(self) -> Trial:
+        return self.study.best_trial
+
+
+class AntTuneServer:
+    """Holds jobs, generates trials and records their metrics."""
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._jobs: Dict[int, TuneJob] = {}
+        self._next_job_id = itertools.count()
+
+    def submit(self, space: SearchSpace, objective: Objective,
+               algorithm: Optional[SearchAlgorithm] = None,
+               config: Optional[StudyConfig] = None,
+               pruner: Optional[Pruner] = None,
+               rng: Optional[np.random.Generator] = None) -> int:
+        """Register a new tuning job and return its id."""
+        study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
+                      rng=new_rng(rng if rng is not None else 0))
+        job_id = next(self._next_job_id)
+        workers = [f"worker-{i}" for i in range(self.num_workers)]
+        self._jobs[job_id] = TuneJob(job_id=job_id, study=study, objective=objective,
+                                     workers=workers)
+        return job_id
+
+    def run(self, job_id: int) -> Trial:
+        """Execute all trials of a job, assigning them round-robin to workers."""
+        job = self._get(job_id)
+        study = job.study
+        worker_cycle = itertools.cycle(job.workers)
+        original_n_trials = study.config.n_trials
+        # Drive the study one trial at a time so each trial can be attributed
+        # to a distinct (simulated) worker, mirroring the distributed execution.
+        for _ in range(original_n_trials):
+            single = StudyConfig(
+                maximize=study.config.maximize,
+                n_trials=1,
+                trial_time_limit=study.config.trial_time_limit,
+                total_time_limit=study.config.total_time_limit,
+                max_retries=study.config.max_retries,
+                raise_on_all_failed=False,
+            )
+            study.config = single
+            study.optimize(job.objective, worker_name=next(worker_cycle))
+        job.finished = True
+        try:
+            return study.best_trial
+        except TrialError as exc:
+            raise TrialError(f"job {job_id}: every trial failed") from exc
+
+    def status(self, job_id: int) -> Dict[str, object]:
+        job = self._get(job_id)
+        states: Dict[str, int] = {}
+        for trial in job.study.trials:
+            states[trial.state.value] = states.get(trial.state.value, 0) + 1
+        return {
+            "job_id": job_id,
+            "finished": job.finished,
+            "num_trials": len(job.study.trials),
+            "states": states,
+            "workers": list(job.workers),
+        }
+
+    def _get(self, job_id: int) -> TuneJob:
+        if job_id not in self._jobs:
+            raise TrialError(f"unknown job id {job_id}")
+        return self._jobs[job_id]
+
+
+class AntTuneClient:
+    """The SDK-side view: submit a space + objective, wait, fetch the best config."""
+
+    def __init__(self, server: Optional[AntTuneServer] = None) -> None:
+        self.server = server or AntTuneServer()
+
+    def tune(self, space: SearchSpace, objective: Objective,
+             algorithm: Optional[SearchAlgorithm] = None,
+             config: Optional[StudyConfig] = None,
+             pruner: Optional[Pruner] = None,
+             rng: Optional[np.random.Generator] = None) -> Trial:
+        """Submit a job, run it to completion and return the best trial."""
+        job_id = self.server.submit(space, objective, algorithm=algorithm, config=config,
+                                    pruner=pruner, rng=rng)
+        return self.server.run(job_id)

@@ -1,0 +1,141 @@
+"""The study object: AntTune's trial-generation and bookkeeping loop (Fig. 8).
+
+A :class:`Study` pairs a search space with a search algorithm, runs an
+objective function over a sequence of trials and keeps the full trial history.
+The systematic features described in the paper are modelled explicitly:
+
+* per-trial time limit and an overall job time limit,
+* early stopping of futureless trials (via a :class:`~repro.automl.pruners.Pruner`),
+* a fault-tolerant mechanism (failed trials are recorded and retried up to a
+  configurable number of times without aborting the study).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.algorithms.racos import RACOS
+from repro.automl.pruners import NoPruner, Pruner
+from repro.automl.search_space import SearchSpace
+from repro.automl.trial import PrunedTrial, Trial, TrialState
+from repro.exceptions import TrialError
+from repro.utils.rng import new_rng
+
+__all__ = ["StudyConfig", "Study"]
+
+Objective = Callable[[Trial], float]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Study-level limits and behaviour.
+
+    Attributes:
+        maximize: whether larger objective values are better (AUC: yes).
+        n_trials: number of trials to run.
+        trial_time_limit: wall-clock seconds allowed per trial (None = unlimited).
+        total_time_limit: wall-clock seconds allowed for the whole study.
+        max_retries: how many times a failed configuration is re-attempted.
+        raise_on_all_failed: raise :class:`TrialError` if no trial completes.
+    """
+
+    maximize: bool = True
+    n_trials: int = 10
+    trial_time_limit: Optional[float] = None
+    total_time_limit: Optional[float] = None
+    max_retries: int = 1
+    raise_on_all_failed: bool = True
+
+
+class Study:
+    """Sequential (optionally simulated-distributed) hyper-parameter study."""
+
+    def __init__(self, space: SearchSpace, algorithm: Optional[SearchAlgorithm] = None,
+                 config: Optional[StudyConfig] = None, pruner: Optional[Pruner] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.space = space
+        self._rng = new_rng(rng if rng is not None else 0)
+        self.algorithm = algorithm if algorithm is not None else RACOS(rng=self._rng)
+        self.config = config or StudyConfig()
+        self.pruner = pruner or NoPruner()
+        self.trials: List[Trial] = []
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def best_trial(self) -> Trial:
+        finished = completed_trials(self.trials)
+        if not finished:
+            raise TrialError("no completed trials in the study")
+        key = (lambda t: t.value) if self.config.maximize else (lambda t: -t.value)
+        return max(finished, key=key)
+
+    @property
+    def best_params(self) -> Dict[str, object]:
+        return dict(self.best_trial.params)
+
+    @property
+    def best_value(self) -> float:
+        return float(self.best_trial.value)
+
+    def history_records(self) -> List[Dict[str, object]]:
+        return [t.as_record() for t in self.trials]
+
+    # ------------------------------------------------------------------ #
+    # Optimisation loop
+    # ------------------------------------------------------------------ #
+    def optimize(self, objective: Objective, worker_name: str = "worker-0") -> Optional[Trial]:
+        """Run the configured number of trials and return the best one.
+
+        Returns ``None`` when no trial completed and ``raise_on_all_failed`` is
+        False (e.g. every trial failed or was pruned).
+        """
+        start_time = time.perf_counter()
+        for _ in range(self.config.n_trials):
+            if self._total_time_exceeded(start_time):
+                break
+            params = self.algorithm.ask(self.space, self.trials, self.config.maximize)
+            trial = self._run_single(objective, params, worker_name)
+            retries = 0
+            while trial.state == TrialState.FAILED and retries < self.config.max_retries:
+                retries += 1
+                trial = self._run_single(objective, dict(params), worker_name)
+        if not completed_trials(self.trials):
+            if self.config.raise_on_all_failed:
+                raise TrialError("every trial in the study failed")
+            return None
+        return self.best_trial
+
+    def _run_single(self, objective: Objective, params: Dict[str, object], worker: str) -> Trial:
+        trial = Trial(trial_id=len(self.trials), params=params, worker=worker)
+        trial._prune_check = lambda t: self.pruner.should_prune(t, self.trials, self.config.maximize)
+        trial.state = TrialState.RUNNING
+        self.trials.append(trial)
+        start = time.perf_counter()
+        try:
+            value = objective(trial)
+            trial.value = float(value)
+            trial.state = TrialState.COMPLETED
+        except PrunedTrial:
+            trial.state = TrialState.PRUNED
+        except Exception as exc:  # noqa: BLE001 - fault tolerance requires catching everything
+            trial.state = TrialState.FAILED
+            trial.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=3)}"
+        trial.duration_seconds = time.perf_counter() - start
+        if (trial.state == TrialState.COMPLETED
+                and self.config.trial_time_limit is not None
+                and trial.duration_seconds > self.config.trial_time_limit):
+            trial.state = TrialState.TIMED_OUT
+        self.algorithm.tell(trial)
+        return trial
+
+    def _total_time_exceeded(self, start_time: float) -> bool:
+        limit = self.config.total_time_limit
+        return limit is not None and (time.perf_counter() - start_time) > limit

@@ -1,0 +1,79 @@
+"""Trial bookkeeping for the AntTune-style hyper-parameter optimisation module."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TrialState", "Trial", "PrunedTrial"]
+
+
+class PrunedTrial(Exception):
+    """Raised inside an objective to signal that the trial was early-stopped."""
+
+
+class TrialState(enum.Enum):
+    """Lifecycle of one hyper-parameter evaluation."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    PRUNED = "pruned"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass
+class Trial:
+    """One evaluated hyper-parameter configuration.
+
+    Attributes:
+        trial_id: monotonically increasing identifier within a study.
+        params: the configuration handed to the objective.
+        state: current lifecycle state.
+        value: objective value (None until completion).
+        intermediate_values: values reported during the run (used for pruning).
+        duration_seconds: wall-clock duration of the objective call.
+        error: textual description of the failure, if any.
+        worker: identifier of the (simulated) worker that executed the trial.
+    """
+
+    trial_id: int
+    params: Dict[str, object]
+    state: TrialState = TrialState.PENDING
+    value: Optional[float] = None
+    intermediate_values: List[float] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    error: Optional[str] = None
+    worker: Optional[str] = None
+
+    # The study wires this to its pruner; objectives call trial.report(...)
+    # and trial.should_prune() to cooperate with early stopping.
+    _prune_check: Optional[object] = None
+
+    def report(self, value: float, step: Optional[int] = None) -> None:
+        """Report an intermediate objective value (e.g. per-epoch validation AUC)."""
+        self.intermediate_values.append(float(value))
+
+    def should_prune(self) -> bool:
+        """Whether the attached pruner recommends stopping this trial early."""
+        if self._prune_check is None:
+            return False
+        return bool(self._prune_check(self))
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state in (TrialState.COMPLETED, TrialState.FAILED,
+                              TrialState.PRUNED, TrialState.TIMED_OUT)
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "trial_id": self.trial_id,
+            "params": dict(self.params),
+            "state": self.state.value,
+            "value": self.value,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "worker": self.worker,
+            "error": self.error,
+        }

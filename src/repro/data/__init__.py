@@ -1,0 +1,36 @@
+"""Synthetic datasets: Dataset A/B replicas and the online recommendation stream."""
+
+from repro.data.dataset_a import DATASET_A_PROFILE_DIM, DATASET_A_SIZES, make_dataset_a, scaled_sizes
+from repro.data.dataset_b import DATASET_B_PROFILE_DIM, DATASET_B_SIZES, make_dataset_b
+from repro.data.online import (
+    DayResult,
+    OnlineConfig,
+    OnlineExperiment,
+    make_online_collection,
+)
+from repro.data.synthetic import (
+    ScenarioCollection,
+    ScenarioData,
+    ScenarioSpec,
+    SyntheticWorld,
+    WorldConfig,
+)
+
+__all__ = [
+    "WorldConfig",
+    "ScenarioSpec",
+    "ScenarioData",
+    "SyntheticWorld",
+    "ScenarioCollection",
+    "DATASET_A_SIZES",
+    "DATASET_A_PROFILE_DIM",
+    "DATASET_B_SIZES",
+    "DATASET_B_PROFILE_DIM",
+    "make_dataset_a",
+    "make_dataset_b",
+    "scaled_sizes",
+    "OnlineConfig",
+    "OnlineExperiment",
+    "DayResult",
+    "make_online_collection",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ALT reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SearchSpaceError",
+    "TrialError",
+    "BudgetExceededError",
+    "ScenarioNotFoundError",
+    "ModelNotDeployedError",
+    "FeatureNotFoundError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SearchSpaceError(ReproError):
+    """A hyper-parameter or architecture search space was malformed."""
+
+
+class TrialError(ReproError):
+    """A hyper-parameter optimisation trial failed."""
+
+
+class BudgetExceededError(ReproError):
+    """No architecture satisfying the FLOPs budget could be derived."""
+
+
+class ScenarioNotFoundError(ReproError):
+    """A scenario id was requested that is not registered."""
+
+
+class ModelNotDeployedError(ReproError):
+    """Online prediction was requested for a scenario without a deployed model."""
+
+
+class FeatureNotFoundError(ReproError):
+    """A feature name was requested that the feature factory does not hold."""

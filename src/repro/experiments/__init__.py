@@ -1,0 +1,5 @@
+"""Experiment harness helpers shared by the benchmarks."""
+
+from repro.experiments.tables import format_average_row, format_comparison_table, format_table
+
+__all__ = ["format_table", "format_comparison_table", "format_average_row"]

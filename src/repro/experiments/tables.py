@@ -1,0 +1,57 @@
+"""ASCII table formatting for benchmark output (Tables III-VIII style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_comparison_table", "format_average_row"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None,
+                 float_digits: int = 3, title: Optional[str] = None) -> str:
+    """Render a list of dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return title or "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison_table(comparison, float_digits: int = 3, title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.strategies.results.ComparisonResult` like Table III/IV."""
+    strategies = comparison.strategies()
+    rows: List[Dict[str, object]] = []
+    for scenario_id in comparison.scenario_ids():
+        row: Dict[str, object] = {"scenario": scenario_id}
+        for name in strategies:
+            row[name] = comparison.results[name].per_scenario_auc.get(scenario_id, float("nan"))
+        rows.append(row)
+    average: Dict[str, object] = {"scenario": "AVG"}
+    for name in strategies:
+        average[name] = comparison.results[name].average_auc
+    rows.append(average)
+    return format_table(rows, columns=["scenario", *strategies], float_digits=float_digits,
+                        title=title)
+
+
+def format_average_row(comparison, float_digits: int = 3) -> str:
+    """One-line summary of the average AUC per strategy."""
+    parts = [f"{name}={result.average_auc:.{float_digits}f}"
+             for name, result in comparison.results.items()]
+    return f"[{comparison.dataset} / {comparison.encoder_type}] " + "  ".join(parts)

@@ -1,0 +1,23 @@
+"""Meta-learning components: scenario agnostic/specific heavy models and distillation."""
+
+from repro.meta.agnostic import (
+    MetaLearner,
+    MetaUpdateConfig,
+    outer_update_fomaml,
+    outer_update_reptile,
+    query_gradients,
+)
+from repro.meta.distillation import DistillationConfig, distill
+from repro.meta.finetune import FineTuneConfig, fine_tune
+
+__all__ = [
+    "FineTuneConfig",
+    "fine_tune",
+    "MetaUpdateConfig",
+    "MetaLearner",
+    "query_gradients",
+    "outer_update_fomaml",
+    "outer_update_reptile",
+    "DistillationConfig",
+    "distill",
+]

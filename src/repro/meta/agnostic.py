@@ -1,0 +1,154 @@
+"""Scenario agnostic heavy model maintenance (Eq. 2-3, Sec. III-B/C).
+
+The scenario agnostic heavy model f0 pools the knowledge of all scenarios.
+After a scenario specific heavy model is fine-tuned, its loss on the
+scenario's query set is used to update f0.  Exact second-order MAML would
+differentiate through the inner fine-tuning; as is standard practice (and
+documented in DESIGN.md) we support the first-order approximation (FOMAML)
+and Reptile, both of which only require gradients of the adapted models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.meta.finetune import FineTuneConfig, fine_tune
+from repro.nn.data import ArrayDataset, support_query_split
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+__all__ = ["MetaUpdateConfig", "query_gradients", "outer_update_fomaml",
+           "outer_update_reptile", "MetaLearner"]
+
+
+@dataclass(frozen=True)
+class MetaUpdateConfig:
+    """Outer-loop (agnostic model) update hyper-parameters.
+
+    Attributes:
+        outer_lr: the conservative learning rate eta of Eq. 2/3.
+        method: "fomaml" (gradient-based feedback) or "reptile" (parameter interpolation).
+        support_fraction: fraction of scenario data used as the support set.
+    """
+
+    outer_lr: float = 0.05
+    method: str = "fomaml"
+    support_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fomaml", "reptile"):
+            raise ConfigurationError(f"method must be 'fomaml' or 'reptile', got {self.method!r}")
+        if self.outer_lr <= 0:
+            raise ConfigurationError("outer_lr must be positive")
+        if not 0.0 < self.support_fraction < 1.0:
+            raise ConfigurationError("support_fraction must be in (0, 1)")
+
+
+def query_gradients(adapted_model: Module, query: ArrayDataset) -> Dict[str, np.ndarray]:
+    """Gradients of the query-set loss w.r.t. the adapted model's parameters.
+
+    Under the first-order approximation these gradients stand in for
+    ``grad_theta0 L(D_q, theta_u)`` in Eq. 2.
+    """
+    if len(query) == 0:
+        raise ValueError("query set must not be empty")
+    adapted_model.zero_grad()
+    adapted_model.train()
+    loss = binary_cross_entropy_with_logits(adapted_model(query.as_batch()), query.labels)
+    loss.backward()
+    gradients = {
+        name: (param.grad.copy() if param.grad is not None else np.zeros_like(param.data))
+        for name, param in adapted_model.named_parameters()
+    }
+    adapted_model.zero_grad()
+    adapted_model.eval()
+    return gradients
+
+
+def outer_update_fomaml(agnostic_model: Module,
+                        per_scenario_gradients: Sequence[Dict[str, np.ndarray]],
+                        outer_lr: float) -> None:
+    """Apply the aggregated first-order meta update of Eq. 3 in place."""
+    if not per_scenario_gradients:
+        return
+    parameters = dict(agnostic_model.named_parameters())
+    for name, param in parameters.items():
+        total = np.zeros_like(param.data)
+        for gradients in per_scenario_gradients:
+            if name in gradients:
+                total += gradients[name]
+        param.data = param.data - outer_lr * total
+
+
+def outer_update_reptile(agnostic_model: Module, adapted_models: Sequence[Module],
+                         outer_lr: float) -> None:
+    """Reptile update: move theta0 toward the average of the adapted parameters."""
+    if not adapted_models:
+        return
+    parameters = dict(agnostic_model.named_parameters())
+    adapted_states = [dict(m.named_parameters()) for m in adapted_models]
+    for name, param in parameters.items():
+        displacement = np.zeros_like(param.data)
+        for state in adapted_states:
+            displacement += state[name].data - param.data
+        displacement /= len(adapted_states)
+        param.data = param.data + outer_lr * displacement
+
+
+class MetaLearner:
+    """Owns the scenario agnostic heavy model and runs the Fig. 5 loop.
+
+    Typical usage::
+
+        learner = MetaLearner(agnostic_model)
+        specific, query = learner.adapt(scenario_data)       # Eq. 1
+        learner.feedback([(specific, query)])                # Eq. 2/3
+    """
+
+    def __init__(self, agnostic_model: Module,
+                 fine_tune_config: Optional[FineTuneConfig] = None,
+                 meta_config: Optional[MetaUpdateConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.agnostic_model = agnostic_model
+        self.fine_tune_config = fine_tune_config or FineTuneConfig()
+        self.meta_config = meta_config or MetaUpdateConfig()
+        self._rng = new_rng(rng if rng is not None else 0)
+        self.num_adaptations = 0
+        self.num_feedback_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # Inner loop
+    # ------------------------------------------------------------------ #
+    def split(self, scenario_data: ArrayDataset) -> Tuple[ArrayDataset, ArrayDataset]:
+        """Randomly split a scenario's samples into support and query sets."""
+        return support_query_split(scenario_data,
+                                   support_fraction=self.meta_config.support_fraction,
+                                   rng=self._rng)
+
+    def adapt(self, scenario_data: ArrayDataset) -> Tuple[Module, ArrayDataset]:
+        """Produce the scenario specific heavy model and the held-out query set."""
+        support, query = self.split(scenario_data)
+        adapted = fine_tune(self.agnostic_model, support, self.fine_tune_config, rng=self._rng)
+        self.num_adaptations += 1
+        return adapted, query
+
+    # ------------------------------------------------------------------ #
+    # Outer loop
+    # ------------------------------------------------------------------ #
+    def feedback(self, adapted_and_queries: Sequence[Tuple[Module, ArrayDataset]]) -> None:
+        """Update the agnostic model from one or many simultaneously handled scenarios (Eq. 3)."""
+        if not adapted_and_queries:
+            return
+        if self.meta_config.method == "reptile":
+            outer_update_reptile(self.agnostic_model,
+                                 [model for model, _ in adapted_and_queries],
+                                 self.meta_config.outer_lr)
+        else:
+            gradients = [query_gradients(model, query) for model, query in adapted_and_queries]
+            outer_update_fomaml(self.agnostic_model, gradients, self.meta_config.outer_lr)
+        self.num_feedback_updates += 1

@@ -1,0 +1,49 @@
+"""Knowledge distillation from the scenario specific heavy model (Eq. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+from repro.nn.module import Module
+from repro.training.trainer import TrainingConfig, TrainingHistory, train_supervised
+
+__all__ = ["DistillationConfig", "distill"]
+
+
+@dataclass(frozen=True)
+class DistillationConfig:
+    """Hyper-parameters of the student (light model) distillation run.
+
+    Attributes:
+        delta: weight of the soft-label cross entropy in Eq. 5.
+        epochs: training epochs for the student.
+        learning_rate: Adam learning rate.
+        batch_size: mini-batch size.
+    """
+
+    delta: float = 1.0
+    epochs: int = 3
+    learning_rate: float = 0.005
+    batch_size: int = 256
+
+
+def distill(teacher: Module, student: Module, dataset: ArrayDataset,
+            config: Optional[DistillationConfig] = None,
+            rng: Optional[np.random.Generator] = None) -> TrainingHistory:
+    """Train ``student`` on ``dataset`` with hard labels and the teacher's soft labels.
+
+    Returns the student's training history.  The teacher is only queried in
+    inference mode and receives no gradient updates.
+    """
+    config = config or DistillationConfig()
+    training = TrainingConfig(
+        epochs=config.epochs,
+        learning_rate=config.learning_rate,
+        batch_size=config.batch_size,
+        distill_delta=config.delta,
+    )
+    return train_supervised(student, dataset, training, rng=rng, teacher=teacher)

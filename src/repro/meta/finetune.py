@@ -1,0 +1,79 @@
+"""Scenario specific heavy model construction (Eq. 1, Fig. 5).
+
+When a scenario arrives, the scenario agnostic heavy model is copied and
+fine-tuned on the scenario's support set.  The resulting *scenario specific
+heavy model* later serves as the distillation teacher for the light model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module, clone_module
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.utils.rng import new_rng
+
+__all__ = ["FineTuneConfig", "fine_tune"]
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Inner-loop fine-tuning hyper-parameters.
+
+    Attributes:
+        inner_lr: the learning rate gamma of Eq. 1.
+        epochs: passes over the support set.
+        batch_size: mini-batch size.
+        optimizer: "sgd" (plain Eq. 1 steps) or "adam".
+        grad_clip: max gradient norm (0 disables).
+    """
+
+    inner_lr: float = 0.01
+    epochs: int = 2
+    batch_size: int = 256
+    optimizer: str = "adam"
+    grad_clip: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("sgd", "adam"):
+            raise ConfigurationError(f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if self.inner_lr <= 0:
+            raise ConfigurationError("inner_lr must be positive")
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+
+
+def fine_tune(agnostic_model: Module, support: ArrayDataset, config: FineTuneConfig,
+              rng: Optional[np.random.Generator] = None) -> Module:
+    """Copy the agnostic model and fine-tune the copy on the support set (Eq. 1).
+
+    The original model is left untouched; the returned copy is the scenario
+    specific heavy model f_u with parameters theta_u.
+    """
+    if len(support) == 0:
+        raise ValueError("support set must not be empty")
+    rng = new_rng(rng if rng is not None else 0)
+    adapted = clone_module(agnostic_model)
+    adapted.train()
+    params = adapted.parameters()
+    if config.optimizer == "sgd":
+        optimizer = SGD(params, lr=config.inner_lr)
+    else:
+        optimizer = Adam(params, lr=config.inner_lr)
+    loader = DataLoader(support, batch_size=config.batch_size, shuffle=True, rng=rng)
+    for _ in range(config.epochs):
+        for batch in loader:
+            optimizer.zero_grad()
+            loss = binary_cross_entropy_with_logits(adapted(batch), batch.labels)
+            loss.backward()
+            if config.grad_clip > 0:
+                clip_grad_norm(params, config.grad_clip)
+            optimizer.step()
+    adapted.eval()
+    return adapted

@@ -1,0 +1,12 @@
+"""Evaluation metrics: AUC/logloss for effectiveness, FLOPs/latency for efficiency."""
+
+from repro.metrics.classification import accuracy, auc_score, log_loss
+from repro.metrics.efficiency import EfficiencyReport, measure_inference_time
+
+__all__ = [
+    "auc_score",
+    "accuracy",
+    "log_loss",
+    "EfficiencyReport",
+    "measure_inference_time",
+]

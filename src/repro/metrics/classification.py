@@ -1,0 +1,61 @@
+"""Classification metrics.
+
+The paper evaluates effectiveness with the AUC (area under the ROC curve,
+Sec. V-A4).  We implement AUC via the rank statistic (Mann-Whitney U), which
+handles ties by assigning average ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc_score", "accuracy", "log_loss"]
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve from binary labels and real-valued scores.
+
+    Returns 0.5 when only one class is present (undefined AUC), matching the
+    common industrial convention of treating degenerate slices as neutral.
+    """
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError(f"labels {labels.shape} and scores {scores.shape} must align")
+    positives = labels > 0.5
+    n_pos = int(positives.sum())
+    n_neg = int(len(labels) - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks for tied scores.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            avg = (i + j) / 2.0 + 1.0
+            ranks[order[i:j + 1]] = avg
+        i = j + 1
+    rank_sum_pos = ranks[positives].sum()
+    u_stat = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_stat / (n_pos * n_neg))
+
+
+def accuracy(labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> float:
+    """Binary accuracy from scores in [0, 1] (or logits with threshold 0)."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    predictions = (scores >= threshold).astype(np.float64)
+    return float((predictions == (labels > 0.5)).mean())
+
+
+def log_loss(labels: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12) -> float:
+    """Binary cross entropy between labels and predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    probs = np.clip(np.asarray(probabilities, dtype=np.float64).reshape(-1), eps, 1.0 - eps)
+    return float(-(labels * np.log(probs) + (1 - labels) * np.log(1 - probs)).mean())

@@ -1,0 +1,60 @@
+"""Efficiency metrics: per-sample FLOPs and wall-clock inference latency (Table V)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.data import Batch
+from repro.nn.flops import format_flops
+
+__all__ = ["EfficiencyReport", "measure_inference_time"]
+
+
+@dataclass
+class EfficiencyReport:
+    """Per-model efficiency summary.
+
+    Attributes:
+        flops: analytical per-sample FLOPs of the model.
+        inference_time_ms: mean wall-clock time to score one mini-batch, in ms.
+        batch_size: the batch size the latency was measured with.
+    """
+
+    flops: float
+    inference_time_ms: float
+    batch_size: int
+
+    @property
+    def flops_human(self) -> str:
+        return format_flops(self.flops)
+
+    def as_row(self) -> dict:
+        return {
+            "flops": self.flops,
+            "flops_human": self.flops_human,
+            "inference_ms": round(self.inference_time_ms, 3),
+            "batch_size": self.batch_size,
+        }
+
+
+def measure_inference_time(predict_fn: Callable[[Batch], np.ndarray], batch: Batch,
+                           repeats: int = 5, warmup: int = 1) -> float:
+    """Mean wall-clock milliseconds to run ``predict_fn`` on ``batch``.
+
+    A small number of warm-up calls is excluded so one-off graph/cache setup
+    does not pollute the measurement.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        predict_fn(batch)
+    durations = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        predict_fn(batch)
+        durations.append(time.perf_counter() - start)
+    return float(np.mean(durations) * 1000.0)

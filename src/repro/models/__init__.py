@@ -1,0 +1,24 @@
+"""The ALT model family (Fig. 2): profile encoder + behaviour encoder + head."""
+
+from repro.models.base_model import ALTModel, BasicProfileModel
+from repro.models.behavior_encoders import BehaviorEncoder, BertBehaviorEncoder, LSTMBehaviorEncoder
+from repro.models.config import ModelConfig, heavy_config, light_config
+from repro.models.factory import build_basic_model, build_model, build_nas_model
+from repro.models.nas_encoder import NASBehaviorEncoder
+from repro.models.profile_encoder import ProfileEncoder
+
+__all__ = [
+    "ModelConfig",
+    "heavy_config",
+    "light_config",
+    "ProfileEncoder",
+    "BehaviorEncoder",
+    "LSTMBehaviorEncoder",
+    "BertBehaviorEncoder",
+    "NASBehaviorEncoder",
+    "ALTModel",
+    "BasicProfileModel",
+    "build_model",
+    "build_basic_model",
+    "build_nas_model",
+]

@@ -1,0 +1,130 @@
+"""Model configuration dataclasses.
+
+The paper's basic architecture (Fig. 2) has three parts: a profile encoding
+module (MLP), a behaviour encoding module (LSTM / BERT / NAS-searched
+sequence model) and a prediction module (MLP on the concatenated embeddings).
+:class:`ModelConfig` captures every dimension of that family; the
+Sec. V-A3 implementation details map onto :func:`heavy_config` and
+:func:`light_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ModelConfig", "heavy_config", "light_config"]
+
+_ENCODER_TYPES = ("lstm", "bert", "nas", "none")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one ALT model instance.
+
+    Attributes:
+        profile_dim: number of profile attributes (paper: 69 for A, 104 for B).
+        vocab_size: size of the behaviour-event vocabulary.
+        max_seq_len: maximal behaviour sequence length (paper: 128).
+        embed_dim: channel width of the behaviour representation
+            (paper: 15/16 hidden units; must be divisible by ``num_heads``).
+        profile_hidden: hidden layer sizes of the profile encoding MLP.
+        head_hidden: hidden layer sizes of the prediction MLP.
+        encoder_type: "lstm", "bert", "nas" or "none" (profile-only Basic model).
+        num_encoder_layers: behaviour encoder depth (heavy: 6, light: 3).
+        num_heads: attention heads for the BERT-based encoder.
+        ff_dim: intermediate feed-forward width of the BERT-based encoder (paper: 32).
+        dropout: dropout probability.
+        learning_rate: Adam learning rate (paper: 0.001).
+        batch_size: training batch size (paper: 512).
+        epochs: training epochs (paper: 5).
+    """
+
+    profile_dim: int
+    vocab_size: int
+    max_seq_len: int
+    embed_dim: int = 16
+    profile_hidden: Tuple[int, ...] = (32, 16)
+    head_hidden: Tuple[int, ...] = (16,)
+    encoder_type: str = "lstm"
+    num_encoder_layers: int = 6
+    num_heads: int = 2
+    ff_dim: int = 32
+    dropout: float = 0.0
+    learning_rate: float = 0.001
+    batch_size: int = 512
+    epochs: int = 5
+
+    def __post_init__(self) -> None:
+        if self.encoder_type not in _ENCODER_TYPES:
+            raise ConfigurationError(
+                f"encoder_type must be one of {_ENCODER_TYPES}, got {self.encoder_type!r}"
+            )
+        if self.profile_dim < 1:
+            raise ConfigurationError("profile_dim must be >= 1")
+        if self.encoder_type != "none":
+            if self.vocab_size < 1 or self.max_seq_len < 1:
+                raise ConfigurationError("vocab_size and max_seq_len must be >= 1")
+            if self.embed_dim % max(self.num_heads, 1) != 0:
+                raise ConfigurationError(
+                    f"embed_dim {self.embed_dim} must be divisible by num_heads {self.num_heads}"
+                )
+        if self.num_encoder_layers < 1:
+            raise ConfigurationError("num_encoder_layers must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "ModelConfig":
+        """Return a copy with some fields replaced (used by the HPO pipeline)."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile_dim": self.profile_dim,
+            "vocab_size": self.vocab_size,
+            "max_seq_len": self.max_seq_len,
+            "embed_dim": self.embed_dim,
+            "profile_hidden": list(self.profile_hidden),
+            "head_hidden": list(self.head_hidden),
+            "encoder_type": self.encoder_type,
+            "num_encoder_layers": self.num_encoder_layers,
+            "num_heads": self.num_heads,
+            "ff_dim": self.ff_dim,
+            "dropout": self.dropout,
+            "learning_rate": self.learning_rate,
+            "batch_size": self.batch_size,
+            "epochs": self.epochs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModelConfig":
+        data = dict(payload)
+        data["profile_hidden"] = tuple(data.get("profile_hidden", (32, 16)))
+        data["head_hidden"] = tuple(data.get("head_hidden", (16,)))
+        return cls(**data)
+
+
+def heavy_config(profile_dim: int, vocab_size: int, max_seq_len: int,
+                 encoder_type: str = "lstm", **overrides) -> ModelConfig:
+    """The pre-defined heavy architecture of Sec. V-A3 (6 encoder layers)."""
+    config = ModelConfig(
+        profile_dim=profile_dim,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+        encoder_type=encoder_type,
+        num_encoder_layers=6,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def light_config(profile_dim: int, vocab_size: int, max_seq_len: int,
+                 encoder_type: str = "lstm", **overrides) -> ModelConfig:
+    """The pre-defined light architecture of Sec. V-A3 (3 encoder layers)."""
+    config = ModelConfig(
+        profile_dim=profile_dim,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+        encoder_type=encoder_type,
+        num_encoder_layers=3,
+    )
+    return config.with_overrides(**overrides) if overrides else config

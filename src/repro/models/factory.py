@@ -1,0 +1,82 @@
+"""Model factories: build the Fig. 2 model family from a :class:`ModelConfig`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models.base_model import ALTModel, BasicProfileModel
+from repro.models.behavior_encoders import BertBehaviorEncoder, LSTMBehaviorEncoder
+from repro.models.config import ModelConfig
+from repro.models.nas_encoder import NASBehaviorEncoder
+from repro.models.profile_encoder import ProfileEncoder
+from repro.nas.genotype import Genotype
+from repro.utils.rng import new_rng
+
+__all__ = ["build_model", "build_basic_model", "build_nas_model"]
+
+
+def _build_profile_encoder(config: ModelConfig, rng: np.random.Generator) -> ProfileEncoder:
+    return ProfileEncoder(config.profile_dim, hidden_dims=config.profile_hidden,
+                          dropout=config.dropout, rng=rng)
+
+
+def build_model(config: ModelConfig, rng: Optional[np.random.Generator] = None,
+                seed: int = 0) -> ALTModel:
+    """Build an ALT model (profile + behaviour encoder + head) from a config.
+
+    ``config.encoder_type`` selects the behaviour branch: ``"lstm"`` or
+    ``"bert"``; for NAS-searched encoders use :func:`build_nas_model` which
+    additionally needs the genotype.
+    """
+    rng = rng if rng is not None else new_rng(seed)
+    profile_encoder = _build_profile_encoder(config, rng)
+    if config.encoder_type == "lstm":
+        behavior = LSTMBehaviorEncoder(
+            vocab_size=config.vocab_size,
+            embed_dim=config.embed_dim,
+            num_layers=config.num_encoder_layers,
+            dropout=config.dropout,
+            rng=rng,
+        )
+    elif config.encoder_type == "bert":
+        behavior = BertBehaviorEncoder(
+            vocab_size=config.vocab_size,
+            embed_dim=config.embed_dim,
+            num_layers=config.num_encoder_layers,
+            num_heads=config.num_heads,
+            ff_dim=config.ff_dim,
+            max_seq_len=config.max_seq_len,
+            dropout=config.dropout,
+            rng=rng,
+        )
+    elif config.encoder_type == "none":
+        raise ConfigurationError("encoder_type 'none' builds a BasicProfileModel; use build_basic_model")
+    else:
+        raise ConfigurationError(
+            f"build_model handles 'lstm'/'bert'; got {config.encoder_type!r} (use build_nas_model)"
+        )
+    return ALTModel(profile_encoder, behavior, head_hidden=config.head_hidden,
+                    dropout=config.dropout, rng=rng)
+
+
+def build_basic_model(config: ModelConfig, rng: Optional[np.random.Generator] = None,
+                      seed: int = 0) -> BasicProfileModel:
+    """Build the profile-only Basic baseline (Fig. 10 / Table VII)."""
+    rng = rng if rng is not None else new_rng(seed)
+    profile_encoder = _build_profile_encoder(config, rng)
+    return BasicProfileModel(profile_encoder, head_hidden=config.head_hidden,
+                             dropout=config.dropout, rng=rng)
+
+
+def build_nas_model(config: ModelConfig, genotype: Genotype,
+                    rng: Optional[np.random.Generator] = None, seed: int = 0) -> ALTModel:
+    """Build an ALT model whose behaviour encoder follows a searched genotype."""
+    rng = rng if rng is not None else new_rng(seed)
+    profile_encoder = _build_profile_encoder(config, rng)
+    behavior = NASBehaviorEncoder(genotype, vocab_size=config.vocab_size,
+                                  embed_dim=config.embed_dim, rng=rng)
+    return ALTModel(profile_encoder, behavior, head_hidden=config.head_hidden,
+                    dropout=config.dropout, rng=rng)

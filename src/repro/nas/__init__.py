@@ -1,0 +1,36 @@
+"""Neural architecture search: the budget-limited GDAS search and an evolutionary baseline."""
+
+from repro.nas.evolutionary import EvolutionConfig, EvolutionResult, EvolutionaryNAS
+from repro.nas.genotype import Genotype, LayerGene, chain_genotype
+from repro.nas.operations import (
+    DEFAULT_CANDIDATES,
+    available_operations,
+    build_operation,
+    operation_flops,
+)
+from repro.nas.search import PAPER_CANDIDATES, BudgetLimitedNAS, NASConfig, NASResult, SupernetLightModel
+from repro.nas.search_space import SequenceSearchSpace
+from repro.nas.supernet import ChoiceBlock, MixedOp, SequenceSuperNet, gumbel_softmax_probs
+
+__all__ = [
+    "Genotype",
+    "LayerGene",
+    "chain_genotype",
+    "DEFAULT_CANDIDATES",
+    "PAPER_CANDIDATES",
+    "available_operations",
+    "build_operation",
+    "operation_flops",
+    "SequenceSearchSpace",
+    "SequenceSuperNet",
+    "MixedOp",
+    "ChoiceBlock",
+    "gumbel_softmax_probs",
+    "BudgetLimitedNAS",
+    "NASConfig",
+    "NASResult",
+    "SupernetLightModel",
+    "EvolutionaryNAS",
+    "EvolutionConfig",
+    "EvolutionResult",
+]

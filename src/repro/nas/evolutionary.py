@@ -1,0 +1,129 @@
+"""Evolutionary architecture search over the sequence search space.
+
+The paper initialises the scenario agnostic heavy model either by tuning the
+pre-designed architecture or by an automatic architecture search ([24] in the
+paper); the better candidate wins (Fig. 4).  This module provides that second
+pipeline: a straightforward regularised-evolution search over the same
+genotype space as the budget-limited NAS, with a user-supplied fitness
+function (typically "train briefly, return validation AUC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nas.genotype import Genotype
+from repro.nas.search_space import SequenceSearchSpace
+from repro.utils.rng import new_rng
+
+__all__ = ["EvolutionConfig", "EvolutionResult", "EvolutionaryNAS"]
+
+FitnessFn = Callable[[Genotype], float]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Hyper-parameters of the evolutionary architecture search.
+
+    Attributes:
+        population_size: number of genotypes kept alive.
+        generations: evolution rounds after the initial population.
+        tournament_size: candidates sampled per parent selection.
+        mutation_rate: per-gene mutation probability.
+        crossover_probability: probability of producing a child by crossover.
+        flops_budget: optional hard FLOPs cap (evaluated at ``seq_len``/``channels``).
+        seq_len: sequence length used for the FLOPs cap.
+        channels: channel width used for the FLOPs cap.
+    """
+
+    population_size: int = 8
+    generations: int = 4
+    tournament_size: int = 3
+    mutation_rate: float = 0.3
+    crossover_probability: float = 0.3
+    flops_budget: Optional[float] = None
+    seq_len: int = 128
+    channels: int = 16
+
+
+@dataclass
+class EvolutionResult:
+    """Best genotype found and the full evaluation history."""
+
+    best_genotype: Genotype
+    best_fitness: float
+    history: List[Tuple[Genotype, float]] = field(default_factory=list)
+
+
+class EvolutionaryNAS:
+    """Tournament-selection evolutionary search over :class:`SequenceSearchSpace`."""
+
+    def __init__(self, search_space: SequenceSearchSpace, fitness_fn: FitnessFn,
+                 config: Optional[EvolutionConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.search_space = search_space
+        self.fitness_fn = fitness_fn
+        self.config = config or EvolutionConfig()
+        self._rng = new_rng(rng if rng is not None else 0)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _within_budget(self, genotype: Genotype) -> bool:
+        cfg = self.config
+        if cfg.flops_budget is None:
+            return True
+        return genotype.flops(cfg.seq_len, cfg.channels) <= cfg.flops_budget
+
+    def _sample_valid(self) -> Genotype:
+        for _ in range(200):
+            genotype = self.search_space.random_genotype(self._rng)
+            if self._within_budget(genotype):
+                return genotype
+        return self.search_space.min_flops_genotype(self.config.seq_len, self.config.channels)
+
+    def _tournament(self, population: List[Tuple[Genotype, float]]) -> Genotype:
+        indices = self._rng.choice(len(population), size=min(self.config.tournament_size,
+                                                             len(population)), replace=False)
+        best = max((population[i] for i in indices), key=lambda pair: pair[1])
+        return best[0]
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self) -> EvolutionResult:
+        cfg = self.config
+        population: List[Tuple[Genotype, float]] = []
+        history: List[Tuple[Genotype, float]] = []
+        for _ in range(cfg.population_size):
+            genotype = self._sample_valid()
+            fitness = float(self.fitness_fn(genotype))
+            population.append((genotype, fitness))
+            history.append((genotype, fitness))
+        for _ in range(cfg.generations):
+            children: List[Tuple[Genotype, float]] = []
+            for _ in range(cfg.population_size):
+                parent = self._tournament(population)
+                if self._rng.random() < cfg.crossover_probability and len(population) > 1:
+                    other = self._tournament(population)
+                    child = self.search_space.crossover(parent, other, rng=self._rng)
+                    child = self.search_space.mutate(child, rng=self._rng,
+                                                     mutation_rate=cfg.mutation_rate)
+                else:
+                    child = self.search_space.mutate(parent, rng=self._rng,
+                                                     mutation_rate=cfg.mutation_rate)
+                if not self._within_budget(child):
+                    child = self._sample_valid()
+                fitness = float(self.fitness_fn(child))
+                children.append((child, fitness))
+                history.append((child, fitness))
+            # Keep the best individuals among parents and children (elitism).
+            combined = population + children
+            combined.sort(key=lambda pair: pair[1], reverse=True)
+            population = combined[:cfg.population_size]
+        best_genotype, best_fitness = max(population, key=lambda pair: pair[1])
+        return EvolutionResult(best_genotype=best_genotype, best_fitness=best_fitness,
+                               history=history)

@@ -1,0 +1,148 @@
+"""Discrete architecture descriptions (genotypes) for the sequence search space.
+
+A genotype fixes, for every layer of Fig. 6: which previous output feeds the
+layer (input choice), which candidate operation the layer applies (operation
+choice) and which previous outputs are added as residual connections
+(residual input choices).  Index ``0`` always refers to the original input;
+index ``i >= 1`` refers to the output of layer ``i``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.exceptions import SearchSpaceError
+from repro.nas.operations import operation_flops, validate_candidates
+
+__all__ = ["LayerGene", "Genotype"]
+
+
+@dataclass(frozen=True)
+class LayerGene:
+    """The searched decisions of a single layer.
+
+    Attributes:
+        input_index: which previous output is the layer input (0 = original input).
+        operation: candidate operation name (see :mod:`repro.nas.operations`).
+        residual_indices: previous outputs added as residual connections.
+    """
+
+    input_index: int
+    operation: str
+    residual_indices: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "input_index": self.input_index,
+            "operation": self.operation,
+            "residual_indices": list(self.residual_indices),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LayerGene":
+        return cls(
+            input_index=int(payload["input_index"]),
+            operation=str(payload["operation"]),
+            residual_indices=tuple(int(i) for i in payload.get("residual_indices", [])),
+        )
+
+
+@dataclass(frozen=True)
+class Genotype:
+    """A full discrete architecture: one :class:`LayerGene` per layer."""
+
+    layers: Tuple[LayerGene, ...]
+
+    def __post_init__(self) -> None:
+        validate_candidates([gene.operation for gene in self.layers])
+        for position, gene in enumerate(self.layers, start=1):
+            if not 0 <= gene.input_index < position:
+                raise SearchSpaceError(
+                    f"layer {position}: input_index {gene.input_index} must be in [0, {position - 1}]"
+                )
+            for residual in gene.residual_indices:
+                if not 0 <= residual < position:
+                    raise SearchSpaceError(
+                        f"layer {position}: residual index {residual} must be in [0, {position - 1}]"
+                    )
+            if len(set(gene.residual_indices)) != len(gene.residual_indices):
+                raise SearchSpaceError(f"layer {position}: duplicate residual indices")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def operations(self) -> List[str]:
+        return [gene.operation for gene in self.layers]
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+    def flops(self, seq_len: int, channels: int) -> int:
+        """Per-sample FLOPs of the encoder this genotype describes.
+
+        Counts each layer's operation plus one add per residual connection and
+        the final attentive layer summation.
+        """
+        total = 0
+        for gene in self.layers:
+            total += operation_flops(gene.operation, seq_len, channels)
+            total += len(gene.residual_indices) * seq_len * channels
+        total += self.num_layers * seq_len * channels  # attentive sum of layer outputs
+        return int(total)
+
+    def num_trainable_ops(self) -> int:
+        """Number of layers whose operation has trainable parameters."""
+        pooling = {"avg_pool_3", "max_pool_3"}
+        return sum(1 for gene in self.layers if gene.operation not in pooling)
+
+    # ------------------------------------------------------------------ #
+    # Serialization / display
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {"layers": [gene.to_dict() for gene in self.layers]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Genotype":
+        return cls(layers=tuple(LayerGene.from_dict(g) for g in payload["layers"]))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Genotype":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Genotype":
+        return cls.from_json(Path(path).read_text())
+
+    def describe(self) -> str:
+        """Human-readable description in the style of Fig. 9."""
+        lines = []
+        for position, gene in enumerate(self.layers, start=1):
+            source = "input" if gene.input_index == 0 else f"layer{gene.input_index}"
+            residuals = ", ".join(
+                "input" if r == 0 else f"layer{r}" for r in gene.residual_indices
+            )
+            residual_part = f" (+ residual from {residuals})" if residuals else ""
+            lines.append(f"layer{position}: {gene.operation} <- {source}{residual_part}")
+        lines.append("output: attentive sum of all layer outputs")
+        return "\n".join(lines)
+
+
+def chain_genotype(operations: Sequence[str]) -> Genotype:
+    """Build a simple cascade genotype where layer i feeds layer i+1 (no residuals)."""
+    layers = tuple(
+        LayerGene(input_index=i, operation=op) for i, op in enumerate(operations)
+    )
+    return Genotype(layers=layers)

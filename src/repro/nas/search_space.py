@@ -1,0 +1,125 @@
+"""The layered sequence-model search space of Fig. 6.
+
+The space is parameterised by the number of layers and the candidate
+operation set.  It knows how to sample random genotypes, mutate them
+(used by the evolutionary searcher) and report its size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SearchSpaceError
+from repro.nas.genotype import Genotype, LayerGene
+from repro.nas.operations import DEFAULT_CANDIDATES, validate_candidates
+
+__all__ = ["SequenceSearchSpace"]
+
+
+@dataclass
+class SequenceSearchSpace:
+    """Search space over N-layer sequence encoders (input / op / residual choices).
+
+    Attributes:
+        num_layers: number of searchable layers (N in Fig. 6).
+        candidates: candidate operation names for every layer.
+        residual_probability: probability of enabling each residual edge when
+            sampling random genotypes.
+    """
+
+    num_layers: int = 4
+    candidates: List[str] = field(default_factory=lambda: list(DEFAULT_CANDIDATES))
+    residual_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise SearchSpaceError("num_layers must be >= 1")
+        self.candidates = validate_candidates(self.candidates)
+        if not 0.0 <= self.residual_probability <= 1.0:
+            raise SearchSpaceError("residual_probability must be in [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def num_input_choices(self, layer_position: int) -> int:
+        """Number of possible inputs for the layer at 1-based ``layer_position``."""
+        if not 1 <= layer_position <= self.num_layers:
+            raise SearchSpaceError(f"layer_position must be in [1, {self.num_layers}]")
+        return layer_position  # original input + previous layer outputs
+
+    def size(self) -> int:
+        """Total number of discrete architectures in the space."""
+        total = 1
+        for position in range(1, self.num_layers + 1):
+            inputs = self.num_input_choices(position)
+            residual_combos = 2 ** inputs
+            total *= inputs * len(self.candidates) * residual_combos
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Sampling / mutation
+    # ------------------------------------------------------------------ #
+    def random_genotype(self, rng: Optional[np.random.Generator] = None) -> Genotype:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers: List[LayerGene] = []
+        for position in range(1, self.num_layers + 1):
+            input_index = int(rng.integers(0, self.num_input_choices(position)))
+            operation = str(rng.choice(self.candidates))
+            residuals = tuple(
+                idx for idx in range(position)
+                if rng.random() < self.residual_probability
+            )
+            layers.append(LayerGene(input_index, operation, residuals))
+        return Genotype(layers=tuple(layers))
+
+    def mutate(self, genotype: Genotype, rng: Optional[np.random.Generator] = None,
+               mutation_rate: float = 0.3) -> Genotype:
+        """Return a mutated copy: each layer's choices flip with ``mutation_rate``."""
+        if genotype.num_layers != self.num_layers:
+            raise SearchSpaceError(
+                f"genotype has {genotype.num_layers} layers, space expects {self.num_layers}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        new_layers: List[LayerGene] = []
+        for position, gene in enumerate(genotype.layers, start=1):
+            input_index = gene.input_index
+            operation = gene.operation
+            residuals = list(gene.residual_indices)
+            if rng.random() < mutation_rate:
+                input_index = int(rng.integers(0, self.num_input_choices(position)))
+            if rng.random() < mutation_rate:
+                operation = str(rng.choice(self.candidates))
+            if rng.random() < mutation_rate:
+                flip = int(rng.integers(0, position))
+                if flip in residuals:
+                    residuals.remove(flip)
+                else:
+                    residuals.append(flip)
+            new_layers.append(LayerGene(input_index, operation, tuple(sorted(residuals))))
+        return Genotype(layers=tuple(new_layers))
+
+    def crossover(self, parent_a: Genotype, parent_b: Genotype,
+                  rng: Optional[np.random.Generator] = None) -> Genotype:
+        """Uniform crossover: each layer gene comes from one of the two parents."""
+        if parent_a.num_layers != self.num_layers or parent_b.num_layers != self.num_layers:
+            raise SearchSpaceError("both parents must match the search space depth")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers = tuple(
+            parent_a.layers[i] if rng.random() < 0.5 else parent_b.layers[i]
+            for i in range(self.num_layers)
+        )
+        return Genotype(layers=layers)
+
+    def min_flops_genotype(self, seq_len: int, channels: int) -> Genotype:
+        """The cheapest architecture in the space (used to sanity-check budgets)."""
+        from repro.nas.operations import operation_flops
+
+        cheapest_op = min(self.candidates, key=lambda op: operation_flops(op, seq_len, channels))
+        layers = tuple(
+            LayerGene(input_index=position - 1, operation=cheapest_op)
+            for position in range(1, self.num_layers + 1)
+        )
+        return Genotype(layers=layers)

@@ -1,0 +1,290 @@
+"""GDAS-style Gumbel-softmax supernet for the budget-limited NAS (Eq. 6-9).
+
+Every searchable decision of Fig. 6 (layer input, operation, residual edges)
+is parameterised by learnable architecture logits.  During search a discrete
+choice is sampled with the Gumbel-softmax straight-through trick (Eq. 7-8):
+the forward pass uses exactly one sampled candidate, while gradients flow to
+the corresponding architecture logit.  After search, :meth:`SequenceSuperNet.derive`
+extracts the discrete architecture with maximum joint probability that
+satisfies the FLOPs constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BudgetExceededError, SearchSpaceError
+from repro.nas.genotype import Genotype, LayerGene
+from repro.nas.operations import build_operation, operation_flops, validate_candidates
+from repro.nn.layers.pooling import AttentiveLayerSum
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["gumbel_softmax_probs", "MixedOp", "ChoiceBlock", "SequenceSuperNet"]
+
+
+def gumbel_softmax_probs(logits: Tensor, tau: float, rng: np.random.Generator,
+                         add_noise: bool = True) -> Tensor:
+    """Differentiable Gumbel-softmax probabilities over a logit vector (Eq. 7)."""
+    if tau <= 0:
+        raise ValueError("temperature tau must be positive")
+    if add_noise:
+        uniform = np.clip(rng.random(logits.shape), 1e-10, 1.0 - 1e-10)
+        gumbel = -np.log(-np.log(uniform))
+        noisy = (logits + Tensor(gumbel)) * (1.0 / tau)
+    else:
+        noisy = logits * (1.0 / tau)
+    return noisy.softmax(axis=-1)
+
+
+def _straight_through_scale(probs: Tensor, index: int) -> Tensor:
+    """Return a scalar tensor whose value is 1 but whose gradient targets ``probs[index]``.
+
+    Implements the ``1 - detached(P_m) + P_m`` factor of Eq. 8.
+    """
+    picked = probs[index]
+    return picked + Tensor(1.0 - float(picked.data))
+
+
+class MixedOp(Module):
+    """All candidate operations of one layer plus their architecture logits."""
+
+    def __init__(self, channels: int, candidates: Sequence[str],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.candidates = validate_candidates(candidates)
+        self.channels = channels
+        self.ops = ModuleList([build_operation(name, channels, rng=rng) for name in self.candidates])
+        self.alpha_ops = Parameter(1e-3 * rng.normal(size=len(self.candidates)))
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray], tau: float,
+                rng: np.random.Generator, sample: bool = True) -> Tensor:
+        probs = gumbel_softmax_probs(self.alpha_ops, tau, rng, add_noise=sample)
+        index = int(np.argmax(probs.data))
+        scale = _straight_through_scale(probs, index)
+        return self.ops[index](x, mask=mask) * scale
+
+    def probabilities(self) -> np.ndarray:
+        """Post-training selection probabilities (Eq. 9)."""
+        logits = self.alpha_ops.data
+        shifted = np.exp(logits - logits.max())
+        return shifted / shifted.sum()
+
+    def expected_flops(self, seq_len: int) -> Tensor:
+        """Probability-weighted FLOPs of this mixed op (differentiable in the logits)."""
+        probs = self.alpha_ops.softmax(axis=-1)
+        costs = Tensor(np.array([
+            float(operation_flops(name, seq_len, self.channels)) for name in self.candidates
+        ]))
+        return (probs * costs).sum()
+
+    def max_flops(self, seq_len: int) -> float:
+        return float(max(operation_flops(name, seq_len, self.channels) for name in self.candidates))
+
+
+class ChoiceBlock(Module):
+    """One searchable layer: input choice + mixed operation + residual choices."""
+
+    def __init__(self, position: int, channels: int, candidates: Sequence[str],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if position < 1:
+            raise SearchSpaceError("layer position must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.position = position
+        self.channels = channels
+        self.num_inputs = position  # original input + previous layer outputs
+        self.mixed_op = MixedOp(channels, candidates, rng=rng)
+        self.alpha_input = Parameter(1e-3 * rng.normal(size=self.num_inputs))
+        # Two logits (off, on) per potential residual edge.
+        self.alpha_residual = Parameter(1e-3 * rng.normal(size=(self.num_inputs, 2)))
+
+    def forward(self, previous: List[Tensor], mask: Optional[np.ndarray], tau: float,
+                rng: np.random.Generator, sample: bool = True) -> Tensor:
+        if len(previous) != self.num_inputs:
+            raise SearchSpaceError(
+                f"layer {self.position} expects {self.num_inputs} previous outputs, got {len(previous)}"
+            )
+        input_probs = gumbel_softmax_probs(self.alpha_input, tau, rng, add_noise=sample)
+        input_index = int(np.argmax(input_probs.data))
+        selected = previous[input_index] * _straight_through_scale(input_probs, input_index)
+        output = self.mixed_op(selected, mask, tau, rng, sample=sample)
+        for edge in range(self.num_inputs):
+            edge_probs = gumbel_softmax_probs(self.alpha_residual[edge, :], tau, rng, add_noise=sample)
+            on_index = int(np.argmax(edge_probs.data))
+            if on_index == 1:
+                output = output + previous[edge] * _straight_through_scale(edge_probs, 1)
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def input_probabilities(self) -> np.ndarray:
+        logits = self.alpha_input.data
+        shifted = np.exp(logits - logits.max())
+        return shifted / shifted.sum()
+
+    def residual_on_probabilities(self) -> np.ndarray:
+        logits = self.alpha_residual.data
+        shifted = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = shifted / shifted.sum(axis=1, keepdims=True)
+        return probs[:, 1]
+
+    def expected_flops(self, seq_len: int) -> Tensor:
+        op_part = self.mixed_op.expected_flops(seq_len)
+        residual_probs = self.alpha_residual.softmax(axis=-1)[:, 1]
+        residual_cost = residual_probs.sum() * float(seq_len * self.channels)
+        return op_part + residual_cost
+
+    def max_flops(self, seq_len: int) -> float:
+        return self.mixed_op.max_flops(seq_len) + self.num_inputs * seq_len * self.channels
+
+
+class SequenceSuperNet(Module):
+    """The full weight-sharing supernet over the Fig. 6 search space."""
+
+    def __init__(self, num_layers: int, channels: int, candidates: Sequence[str],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise SearchSpaceError("num_layers must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_layers = num_layers
+        self.channels = channels
+        self.candidates = validate_candidates(candidates)
+        self.blocks = ModuleList([
+            ChoiceBlock(position, channels, candidates, rng=rng)
+            for position in range(1, num_layers + 1)
+        ])
+        self.output_pool = AttentiveLayerSum(channels, num_layers, rng=rng)
+        self._rng = rng
+
+    @property
+    def output_dim(self) -> int:
+        return self.channels
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None, tau: float = 1.0,
+                sample: bool = True) -> Tensor:
+        outputs: List[Tensor] = [x]
+        layer_outputs: List[Tensor] = []
+        for block in self.blocks:
+            out = block(outputs, mask, tau, self._rng, sample=sample)
+            outputs.append(out)
+            layer_outputs.append(out)
+        return self.output_pool(layer_outputs, mask=mask)
+
+    # ------------------------------------------------------------------ #
+    # Parameter partitioning (weights vs architecture)
+    # ------------------------------------------------------------------ #
+    def architecture_parameters(self) -> List[Parameter]:
+        return [p for name, p in self.named_parameters() if "alpha_" in name]
+
+    def weight_parameters(self) -> List[Parameter]:
+        return [p for name, p in self.named_parameters() if "alpha_" not in name]
+
+    # ------------------------------------------------------------------ #
+    # FLOPs accounting
+    # ------------------------------------------------------------------ #
+    def expected_flops(self, seq_len: int) -> Tensor:
+        """Differentiable expected FLOPs of the sampled architectures (used in Eq. 4)."""
+        total = self.blocks[0].expected_flops(seq_len)
+        for block in list(self.blocks)[1:]:
+            total = total + block.expected_flops(seq_len)
+        return total
+
+    def normalized_expected_flops(self, seq_len: int) -> Tensor:
+        """Expected FLOPs divided by the maximum achievable FLOPs (the L_FLOPs term)."""
+        max_total = sum(block.max_flops(seq_len) for block in self.blocks)
+        return self.expected_flops(seq_len) * (1.0 / max_total)
+
+    # ------------------------------------------------------------------ #
+    # Discrete derivation under a FLOPs budget
+    # ------------------------------------------------------------------ #
+    def derive(self, seq_len: int, flops_budget: Optional[float] = None) -> Genotype:
+        """Extract the max-joint-probability genotype satisfying the FLOPs budget.
+
+        Strategy: take the arg-max choice everywhere, then, while the budget is
+        exceeded, greedily apply the substitution (operation downgrade or
+        residual-edge removal) that loses the least log-probability per FLOP
+        saved.
+        """
+        op_probs = [block.mixed_op.probabilities() for block in self.blocks]
+        input_choices = [int(np.argmax(block.input_probabilities())) for block in self.blocks]
+        residual_probs = [block.residual_on_probabilities() for block in self.blocks]
+
+        op_choices = [int(np.argmax(p)) for p in op_probs]
+        residual_choices = [
+            [bool(p > 0.5) for p in probs] for probs in residual_probs
+        ]
+
+        def genotype_from_choices() -> Genotype:
+            layers = []
+            for i, block in enumerate(self.blocks):
+                residuals = tuple(j for j, on in enumerate(residual_choices[i]) if on)
+                layers.append(LayerGene(
+                    input_index=input_choices[i],
+                    operation=self.candidates[op_choices[i]],
+                    residual_indices=residuals,
+                ))
+            return Genotype(layers=tuple(layers))
+
+        if flops_budget is None:
+            return genotype_from_choices()
+
+        def current_flops() -> int:
+            return genotype_from_choices().flops(seq_len, self.channels)
+
+        max_rounds = self.num_layers * (len(self.candidates) + self.num_layers) + 8
+        rounds = 0
+        while current_flops() > flops_budget and rounds < max_rounds:
+            rounds += 1
+            best_move = None  # (log_prob_loss_per_flop, kind, layer, payload)
+            flops_now = current_flops()
+            for i, block in enumerate(self.blocks):
+                probs = op_probs[i]
+                current_op = op_choices[i]
+                current_cost = operation_flops(self.candidates[current_op], seq_len, self.channels)
+                for candidate_idx, candidate in enumerate(self.candidates):
+                    if candidate_idx == current_op:
+                        continue
+                    new_cost = operation_flops(candidate, seq_len, self.channels)
+                    saved = current_cost - new_cost
+                    if saved <= 0:
+                        continue
+                    loss = np.log(probs[current_op] + 1e-12) - np.log(probs[candidate_idx] + 1e-12)
+                    score = loss / saved
+                    if best_move is None or score < best_move[0]:
+                        best_move = (score, "op", i, candidate_idx)
+                for edge, on in enumerate(residual_choices[i]):
+                    if not on:
+                        continue
+                    saved = seq_len * self.channels
+                    p_on = residual_probs[i][edge]
+                    loss = np.log(p_on + 1e-12) - np.log(1 - p_on + 1e-12)
+                    score = max(loss, 0.0) / saved
+                    if best_move is None or score < best_move[0]:
+                        best_move = (score, "residual", i, edge)
+            if best_move is None:
+                break
+            _, kind, layer, payload = best_move
+            if kind == "op":
+                op_choices[layer] = payload
+            else:
+                residual_choices[layer][payload] = False
+            if current_flops() >= flops_now:
+                break
+
+        genotype = genotype_from_choices()
+        if flops_budget is not None and genotype.flops(seq_len, self.channels) > flops_budget:
+            raise BudgetExceededError(
+                f"no architecture under {flops_budget:.0f} FLOPs could be derived "
+                f"(cheapest found: {genotype.flops(seq_len, self.channels):.0f})"
+            )
+        return genotype

@@ -1,0 +1,45 @@
+"""Neural-network layers for the ALT reproduction."""
+
+from repro.nn.layers.attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
+from repro.nn.layers.basic import (
+    GELU,
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    PositionalEmbedding,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.layers.conv import AvgPool1d, Conv1d, MaxPool1d
+from repro.nn.layers.pooling import AttentiveLayerSum, AttentiveTimePool, LastStepPool, MaskedMeanPool
+from repro.nn.layers.recurrent import LSTM, LSTMCell
+
+__all__ = [
+    "Linear",
+    "Embedding",
+    "PositionalEmbedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "MLP",
+    "Conv1d",
+    "AvgPool1d",
+    "MaxPool1d",
+    "LSTM",
+    "LSTMCell",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "MaskedMeanPool",
+    "LastStepPool",
+    "AttentiveTimePool",
+    "AttentiveLayerSum",
+]

@@ -1,0 +1,139 @@
+"""Temporal (1-D) convolution and pooling layers.
+
+All layers operate on sequences laid out as ``(batch, time, channels)`` —
+the layout used by the behaviour encoders and the NAS search space (Sec.
+III-D of the paper).  Convolutions use SAME padding with stride 1 so the
+output length always matches the input length, exactly as the paper requires
+for stacking searched layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Conv1d", "AvgPool1d", "MaxPool1d"]
+
+
+def _same_padding(kernel_size: int, dilation: int) -> tuple[int, int]:
+    """Left/right zero padding that keeps the sequence length unchanged."""
+    span = dilation * (kernel_size - 1)
+    left = span // 2
+    right = span - left
+    return left, right
+
+
+class Conv1d(Module):
+    """SAME-padded 1-D convolution (standard or dilated) over (B, T, C) inputs.
+
+    With ``kernel_size=1`` this is equivalent to a position-wise linear layer,
+    matching the note in the paper's search-space description.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 dilation: int = 1, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.use_bias = bias
+        # Weight layout: (kernel_size * in_channels, out_channels) so the
+        # convolution reduces to an unfold + matmul.
+        self.weight = Parameter(
+            initializers.kaiming_uniform((kernel_size * in_channels, out_channels), rng)
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq_len, channels = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        if self.kernel_size == 1:
+            out = x @ self.weight
+            if self.use_bias:
+                out = out + self.bias
+            return out
+        left, right = _same_padding(self.kernel_size, self.dilation)
+        padded = x.pad1d(left, right, axis=1)
+        if self.dilation == 1:
+            windows = padded.unfold(self.kernel_size, step=1, axis=1)
+        else:
+            # Build dilated windows by unfolding with the dilated span and
+            # selecting every ``dilation``-th element inside each window.
+            span = self.dilation * (self.kernel_size - 1) + 1
+            windows = padded.unfold(span, step=1, axis=1)
+            windows = windows[:, :, :: self.dilation, :]
+        # windows: (B, T, K, C) -> (B, T, K*C)
+        flat = windows.reshape(batch, seq_len, self.kernel_size * self.in_channels)
+        out = flat @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def flops(self, seq_len: int) -> int:
+        """FLOPs for one sequence of length ``seq_len`` (multiply-adds counted as 2)."""
+        per_step = 2 * self.kernel_size * self.in_channels * self.out_channels
+        if self.use_bias:
+            per_step += self.out_channels
+        return per_step * seq_len
+
+    def __repr__(self) -> str:
+        kind = "dil_conv" if self.dilation > 1 else "std_conv"
+        return f"Conv1d[{kind}](C_in={self.in_channels}, C_out={self.out_channels}, k={self.kernel_size}, d={self.dilation})"
+
+
+class AvgPool1d(Module):
+    """SAME-padded average pooling with stride 1 over (B, T, C) inputs."""
+
+    def __init__(self, kernel_size: int = 3) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        left, right = _same_padding(self.kernel_size, 1)
+        padded = x.pad1d(left, right, axis=1)
+        windows = padded.unfold(self.kernel_size, step=1, axis=1)
+        return windows.mean(axis=2)
+
+    def flops(self, seq_len: int, channels: int) -> int:
+        return self.kernel_size * channels * seq_len
+
+    def __repr__(self) -> str:
+        return f"AvgPool1d(k={self.kernel_size})"
+
+
+class MaxPool1d(Module):
+    """SAME-padded max pooling with stride 1 over (B, T, C) inputs."""
+
+    def __init__(self, kernel_size: int = 3) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        left, right = _same_padding(self.kernel_size, 1)
+        padded = x.pad1d(left, right, axis=1)
+        windows = padded.unfold(self.kernel_size, step=1, axis=1)
+        return windows.max(axis=2)
+
+    def flops(self, seq_len: int, channels: int) -> int:
+        return self.kernel_size * channels * seq_len
+
+    def __repr__(self) -> str:
+        return f"MaxPool1d(k={self.kernel_size})"

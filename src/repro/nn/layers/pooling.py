@@ -1,0 +1,89 @@
+"""Pooling modules that reduce sequences or layer stacks to a single vector."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers.basic import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, stack
+
+__all__ = ["MaskedMeanPool", "LastStepPool", "AttentiveLayerSum", "AttentiveTimePool"]
+
+
+class MaskedMeanPool(Module):
+    """Average a (B, T, D) sequence over time, ignoring padded positions."""
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if mask is None:
+            return x.mean(axis=1)
+        mask = np.asarray(mask, dtype=np.float64)
+        weights = Tensor(mask[:, :, None])
+        counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        return (x * weights).sum(axis=1) / counts
+
+
+class LastStepPool(Module):
+    """Take the representation of the last valid time step."""
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if mask is None:
+            return x[:, -1, :]
+        mask = np.asarray(mask, dtype=np.float64)
+        last = np.maximum(mask.sum(axis=1).astype(np.int64) - 1, 0)
+        batch_idx = np.arange(x.shape[0])
+        return x[batch_idx, last, :]
+
+
+class AttentiveTimePool(Module):
+    """Attention pooling over time with a learned query vector."""
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.score = Linear(dim, 1, rng=rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        scores = self.score(x)  # (B, T, 1)
+        if mask is not None:
+            invalid = ~np.asarray(mask, dtype=bool)
+            scores = scores.masked_fill(invalid[:, :, None], -1e9)
+        weights = scores.softmax(axis=1)
+        return (x * weights).sum(axis=1)
+
+    def flops(self, seq_len: int) -> int:
+        return self.score.flops(seq_len) + 4 * seq_len
+
+
+class AttentiveLayerSum(Module):
+    """Sum the outputs of all searched layers attentively (Fig. 6, final output).
+
+    Each layer output of shape (B, T, D) gets a learned scalar weight; the
+    weighted layer outputs are summed and then mean-pooled over time.
+    """
+
+    def __init__(self, dim: int, num_layers: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_layers = num_layers
+        self.score = Linear(dim, 1, rng=rng)
+
+    def forward(self, layer_outputs: List[Tensor], mask: Optional[np.ndarray] = None) -> Tensor:
+        if not layer_outputs:
+            raise ValueError("AttentiveLayerSum requires at least one layer output")
+        # (L, B, T, D) -> layer summaries (L, B, D) -> scores (L, B, 1)
+        stacked = stack(layer_outputs, axis=0)
+        summaries = stacked.mean(axis=2)
+        scores = self.score(summaries)  # (L, B, 1)
+        weights = scores.softmax(axis=0)
+        weighted = stacked * weights.reshape(len(layer_outputs), -1, 1, 1)
+        combined = weighted.sum(axis=0)  # (B, T, D)
+        if mask is None:
+            return combined.mean(axis=1)
+        mask_arr = np.asarray(mask, dtype=np.float64)
+        counts = Tensor(np.maximum(mask_arr.sum(axis=1, keepdims=True), 1.0))
+        return (combined * Tensor(mask_arr[:, :, None])).sum(axis=1) / counts
+
+    def flops(self, seq_len: int, dim: int) -> int:
+        per_layer = seq_len * dim + self.score.flops(1)
+        return self.num_layers * per_layer + self.num_layers * seq_len * dim

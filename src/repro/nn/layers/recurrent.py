@@ -1,0 +1,91 @@
+"""LSTM layers for the behaviour encoding module (Fig. 2, Sec. V-A3)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor, concatenate, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell computing one time step."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Gates are packed as [input, forget, cell, output] along the output dim.
+        self.weight_ih = Parameter(initializers.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.weight_hh = Parameter(initializers.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+        hidden = self.hidden_size
+        i_gate = gates[:, 0 * hidden:1 * hidden].sigmoid()
+        f_gate = gates[:, 1 * hidden:2 * hidden].sigmoid()
+        g_gate = gates[:, 2 * hidden:3 * hidden].tanh()
+        o_gate = gates[:, 3 * hidden:4 * hidden].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def flops(self) -> int:
+        """FLOPs for one time step and one sequence."""
+        matmuls = 2 * (self.input_size + self.hidden_size) * 4 * self.hidden_size
+        elementwise = 10 * self.hidden_size
+        return matmuls + elementwise
+
+
+class LSTM(Module):
+    """Multi-layer unidirectional LSTM over (B, T, C) inputs.
+
+    Returns the full output sequence (B, T, H) from the top layer together
+    with the final (h, c) of each layer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        cells: List[LSTMCell] = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size, rng=rng))
+        self.cells = ModuleList(cells)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
+        batch, seq_len, _ = x.shape
+        layer_input: List[Tensor] = [x[:, t, :] for t in range(seq_len)]
+        final_states: List[Tuple[Tensor, Tensor]] = []
+        for cell in self.cells:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+            outputs: List[Tensor] = []
+            for t in range(seq_len):
+                h, c = cell(layer_input[t], (h, c))
+                outputs.append(h)
+            layer_input = outputs
+            final_states.append((h, c))
+        sequence = stack(layer_input, axis=1)
+        return sequence, final_states
+
+    def flops(self, seq_len: int) -> int:
+        """FLOPs for one sequence of length ``seq_len``."""
+        return sum(cell.flops() for cell in self.cells) * seq_len

@@ -1,0 +1,81 @@
+"""Loss functions: cross entropy, BCE-with-logits and the distillation loss of Eq. 5."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "distillation_loss",
+    "soft_binary_cross_entropy",
+]
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float64))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets, sample_weight: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically stable binary cross entropy on raw logits.
+
+    Uses the identity ``BCE = max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    """
+    targets_t = _as_tensor(targets)
+    if targets_t.shape != logits.shape:
+        targets_t = targets_t.reshape(logits.shape)
+    relu_z = logits.relu()
+    abs_z = logits.abs()
+    loss = relu_z - logits * targets_t + ((abs_z * -1.0).exp() + 1.0).log()
+    if sample_weight is not None:
+        loss = loss * Tensor(np.asarray(sample_weight, dtype=np.float64).reshape(loss.shape))
+    return loss.mean()
+
+
+def soft_binary_cross_entropy(logits: Tensor, soft_targets: Tensor) -> Tensor:
+    """Binary cross entropy against soft (probability) targets, on raw logits."""
+    probs_target = soft_targets if isinstance(soft_targets, Tensor) else _as_tensor(soft_targets)
+    if probs_target.shape != logits.shape:
+        probs_target = probs_target.reshape(logits.shape)
+    relu_z = logits.relu()
+    abs_z = logits.abs()
+    loss = relu_z - logits * probs_target + ((abs_z * -1.0).exp() + 1.0).log()
+    return loss.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Multi-class cross entropy from (B, C) logits and integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), labels]
+    return picked.mean() * -1.0
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    """Mean squared error."""
+    targets_t = _as_tensor(targets)
+    if targets_t.shape != predictions.shape:
+        targets_t = targets_t.reshape(predictions.shape)
+    diff = predictions - targets_t
+    return (diff * diff).mean()
+
+
+def distillation_loss(student_logits: Tensor, hard_labels, teacher_logits, delta: float = 1.0,
+                      temperature: float = 1.0) -> Tensor:
+    """Knowledge-distillation loss of Eq. 5.
+
+    ``L = CE(student, hard) + delta * CE(student, soft)`` where the soft label is
+    the teacher model's prediction.  ``teacher_logits`` may be a Tensor or numpy
+    array; it is always detached so no gradient flows into the teacher.
+    """
+    hard_term = binary_cross_entropy_with_logits(student_logits, hard_labels)
+    teacher_arr = teacher_logits.data if isinstance(teacher_logits, Tensor) else np.asarray(teacher_logits)
+    soft_probs = 1.0 / (1.0 + np.exp(-teacher_arr / max(temperature, 1e-8)))
+    soft_term = soft_binary_cross_entropy(student_logits, Tensor(soft_probs))
+    return hard_term + soft_term * delta

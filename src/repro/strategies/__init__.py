@@ -1,0 +1,14 @@
+"""The Sec. V evaluation strategies: Basic, SinH, MeH, MeL and Ours."""
+
+from repro.strategies.config import STRATEGY_NAMES, StrategyRunConfig, derive_model_config
+from repro.strategies.results import ComparisonResult, StrategyResult
+from repro.strategies.runner import StrategyRunner
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "StrategyRunConfig",
+    "derive_model_config",
+    "StrategyResult",
+    "ComparisonResult",
+    "StrategyRunner",
+]

@@ -1,0 +1,85 @@
+"""Configuration shared by the Sec. V evaluation strategies (SinH / MeH / MeL / Ours)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.data.synthetic import ScenarioCollection
+from repro.exceptions import ConfigurationError
+from repro.meta.agnostic import MetaUpdateConfig
+from repro.meta.distillation import DistillationConfig
+from repro.meta.finetune import FineTuneConfig
+from repro.models.config import ModelConfig
+from repro.nas.search import NASConfig
+from repro.training.trainer import TrainingConfig
+
+__all__ = ["StrategyRunConfig", "derive_model_config"]
+
+STRATEGY_NAMES = ("basic", "sinh", "meh", "mel", "ours")
+
+
+@dataclass(frozen=True)
+class StrategyRunConfig:
+    """Everything needed to run the compared strategies on one dataset.
+
+    The defaults follow Sec. V-A3: heavy = 6 encoder layers, light = 3 encoder
+    layers, Adam with learning rate 0.001.  Benchmark presets shrink the epoch
+    counts and sequence lengths so the pure-numpy substrate stays fast.
+
+    Attributes:
+        encoder_type: "lstm" or "bert" (the two families of Tables III/IV).
+        embed_dim: behaviour channel width (paper: 15/16).
+        heavy_layers / light_layers: encoder depths (paper: 6 / 3).
+        num_heads / ff_dim: BERT-encoder settings (paper: ff 32).
+        n_initial: number of initial scenarios (paper default: 8).
+        initial_ids: explicit initial scenario ids (overrides n_initial).
+        pretrain: training config for the agnostic model on the pooled pool.
+        scenario_train: training config for per-scenario (SinH / light) training.
+        fine_tune: Eq. 1 settings for the scenario specific heavy model.
+        meta: Eq. 2/3 settings for agnostic feedback.
+        nas: budget-limited NAS settings (strategy "ours").
+        distillation: Eq. 5 settings (strategies "mel" and "ours").
+        seed: master seed for the run.
+    """
+
+    encoder_type: str = "lstm"
+    embed_dim: int = 16
+    heavy_layers: int = 6
+    light_layers: int = 3
+    num_heads: int = 2
+    ff_dim: int = 32
+    n_initial: int = 8
+    initial_ids: Optional[Tuple[int, ...]] = None
+    pretrain: TrainingConfig = field(default_factory=lambda: TrainingConfig(epochs=2, batch_size=128))
+    scenario_train: TrainingConfig = field(default_factory=lambda: TrainingConfig(epochs=2, batch_size=128))
+    fine_tune: FineTuneConfig = field(default_factory=lambda: FineTuneConfig(inner_lr=0.003, epochs=2))
+    meta: MetaUpdateConfig = field(default_factory=lambda: MetaUpdateConfig(outer_lr=0.05))
+    nas: NASConfig = field(default_factory=lambda: NASConfig(num_layers=3, epochs=1))
+    distillation: DistillationConfig = field(default_factory=DistillationConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.encoder_type not in ("lstm", "bert"):
+            raise ConfigurationError("encoder_type must be 'lstm' or 'bert'")
+        if self.heavy_layers < self.light_layers:
+            raise ConfigurationError("heavy_layers must be >= light_layers")
+
+
+def derive_model_config(collection: ScenarioCollection, run_config: StrategyRunConfig,
+                        num_layers: int, encoder_type: Optional[str] = None) -> ModelConfig:
+    """Build a :class:`ModelConfig` matching a dataset's schema and a strategy config."""
+    world_config = collection.world.config
+    return ModelConfig(
+        profile_dim=world_config.profile_dim,
+        vocab_size=world_config.vocab_size,
+        max_seq_len=world_config.seq_len,
+        embed_dim=run_config.embed_dim,
+        encoder_type=encoder_type or run_config.encoder_type,
+        num_encoder_layers=num_layers,
+        num_heads=run_config.num_heads,
+        ff_dim=run_config.ff_dim,
+        learning_rate=run_config.scenario_train.learning_rate,
+        batch_size=run_config.scenario_train.batch_size,
+        epochs=run_config.scenario_train.epochs,
+    )

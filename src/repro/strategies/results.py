@@ -1,0 +1,83 @@
+"""Result containers for the Sec. V strategy comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["StrategyResult", "ComparisonResult"]
+
+
+@dataclass
+class StrategyResult:
+    """Per-scenario and aggregate outcome of one strategy on one dataset.
+
+    Attributes:
+        strategy: strategy name ("basic", "sinh", "meh", "mel", "ours").
+        encoder_type: "lstm" or "bert".
+        per_scenario_auc: test AUC per scenario id.
+        per_scenario_flops: per-sample serving FLOPs per scenario id.
+        per_scenario_latency_ms: measured per-batch inference latency per scenario id.
+    """
+
+    strategy: str
+    encoder_type: str
+    per_scenario_auc: Dict[int, float] = field(default_factory=dict)
+    per_scenario_flops: Dict[int, float] = field(default_factory=dict)
+    per_scenario_latency_ms: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def average_auc(self) -> float:
+        values = list(self.per_scenario_auc.values())
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def average_flops(self) -> float:
+        values = list(self.per_scenario_flops.values())
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def average_latency_ms(self) -> float:
+        values = list(self.per_scenario_latency_ms.values())
+        return float(np.mean(values)) if values else float("nan")
+
+    def auc(self, scenario_id: int) -> float:
+        return self.per_scenario_auc[scenario_id]
+
+
+@dataclass
+class ComparisonResult:
+    """All strategies' results for one dataset and one encoder family."""
+
+    dataset: str
+    encoder_type: str
+    results: Dict[str, StrategyResult] = field(default_factory=dict)
+
+    def add(self, result: StrategyResult) -> None:
+        self.results[result.strategy] = result
+
+    def strategies(self) -> List[str]:
+        return list(self.results.keys())
+
+    def scenario_ids(self) -> List[int]:
+        ids = set()
+        for result in self.results.values():
+            ids.update(result.per_scenario_auc.keys())
+        return sorted(ids)
+
+    def best_strategy_per_scenario(self) -> Dict[int, str]:
+        """Which strategy wins each scenario (the bold entries of Tables III/IV)."""
+        winners: Dict[int, str] = {}
+        for scenario_id in self.scenario_ids():
+            best_name, best_value = None, -np.inf
+            for name, result in self.results.items():
+                value = result.per_scenario_auc.get(scenario_id)
+                if value is not None and value > best_value:
+                    best_name, best_value = name, value
+            winners[scenario_id] = best_name
+        return winners
+
+    def average_row(self) -> Dict[str, float]:
+        return {name: result.average_auc for name, result in self.results.items()}

@@ -1,0 +1,178 @@
+"""Runner for the compared model-construction strategies (Sec. V-A2).
+
+* **Basic** — profile-only model, trained per scenario (Fig. 10 / Table VII).
+* **SinH** (Single-Heavy) — pre-defined heavy model trained per scenario.
+* **MeH** (Meta-Heavy) — heavy model pre-trained on the initial scenarios,
+  fine-tuned per scenario with feedback into the agnostic model.
+* **MeL** (Meta-Light) — as MeH, plus a pre-defined light model distilled from
+  the fine-tuned heavy model; the light model is evaluated.
+* **Ours** — as MeL, but the light architecture is found by the
+  budget-limited NAS under the light model's FLOPs budget.
+
+The meta-based strategies share one agnostic pre-training and one fine-tune
+per scenario so the comparison is apples-to-apples (and affordable on CPU).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import ScenarioCollection, ScenarioData
+from repro.exceptions import ConfigurationError
+from repro.meta.agnostic import MetaLearner
+from repro.meta.distillation import distill
+from repro.metrics.efficiency import measure_inference_time
+from repro.models.factory import build_basic_model, build_model, build_nas_model
+from repro.nas.search import BudgetLimitedNAS
+from repro.nn.data import ArrayDataset, train_test_split
+from repro.nn.module import Module
+from repro.strategies.config import STRATEGY_NAMES, StrategyRunConfig, derive_model_config
+from repro.strategies.results import ComparisonResult, StrategyResult
+from repro.training.trainer import evaluate_auc, train_supervised
+from repro.utils.rng import child_rng, new_rng
+
+__all__ = ["StrategyRunner"]
+
+_META_STRATEGIES = {"meh", "mel", "ours"}
+
+
+class StrategyRunner:
+    """Run any subset of the Sec. V strategies on one scenario collection."""
+
+    def __init__(self, collection: ScenarioCollection, config: Optional[StrategyRunConfig] = None,
+                 dataset_name: str = "dataset") -> None:
+        self.collection = collection
+        self.config = config or StrategyRunConfig()
+        self.dataset_name = dataset_name
+        self._rng = new_rng(self.config.seed)
+        if self.config.initial_ids is not None:
+            self.initial_ids = sorted(int(i) for i in self.config.initial_ids)
+        else:
+            self.initial_ids = collection.select_initial(self.config.n_initial,
+                                                         rng=child_rng(self._rng, "initial"))
+        self.heavy_config = derive_model_config(collection, self.config, self.config.heavy_layers)
+        self.light_config = derive_model_config(collection, self.config, self.config.light_layers)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def scenario_order(self, scenario_ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Initial scenarios first, then the subsequently arriving ones by id."""
+        ids = list(scenario_ids) if scenario_ids is not None else self.collection.ids()
+        initial = [i for i in ids if i in self.initial_ids]
+        subsequent = [i for i in ids if i not in self.initial_ids]
+        return initial + subsequent
+
+    def run(self, strategies: Iterable[str] = ("sinh", "meh", "mel", "ours"),
+            scenario_ids: Optional[Sequence[int]] = None,
+            measure_efficiency: bool = False) -> ComparisonResult:
+        """Run the requested strategies and collect per-scenario AUC (and efficiency)."""
+        requested = [s.lower() for s in strategies]
+        unknown = [s for s in requested if s not in STRATEGY_NAMES]
+        if unknown:
+            raise ConfigurationError(f"unknown strategies {unknown}; valid: {STRATEGY_NAMES}")
+        order = self.scenario_order(scenario_ids)
+        comparison = ComparisonResult(dataset=self.dataset_name, encoder_type=self.config.encoder_type)
+
+        if "basic" in requested:
+            comparison.add(self._run_per_scenario(order, kind="basic",
+                                                  measure_efficiency=measure_efficiency))
+        if "sinh" in requested:
+            comparison.add(self._run_per_scenario(order, kind="sinh",
+                                                  measure_efficiency=measure_efficiency))
+        meta_requested = [s for s in requested if s in _META_STRATEGIES]
+        if meta_requested:
+            for result in self._run_meta_family(order, meta_requested, measure_efficiency):
+                comparison.add(result)
+        return comparison
+
+    # ------------------------------------------------------------------ #
+    # Per-scenario strategies (Basic, SinH)
+    # ------------------------------------------------------------------ #
+    def _run_per_scenario(self, order: Sequence[int], kind: str,
+                          measure_efficiency: bool) -> StrategyResult:
+        result = StrategyResult(strategy=kind, encoder_type=self.config.encoder_type)
+        for scenario_id in order:
+            scenario = self.collection.get(scenario_id)
+            rng = child_rng(self._rng, f"{kind}-{scenario_id}")
+            if kind == "basic":
+                model: Module = build_basic_model(self.heavy_config, rng=rng)
+            else:
+                model = build_model(self.heavy_config, rng=rng)
+            train_supervised(model, scenario.train, self.config.scenario_train, rng=rng)
+            self._record(result, scenario, model, measure_efficiency)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Meta-based strategies (MeH, MeL, Ours) sharing the agnostic model
+    # ------------------------------------------------------------------ #
+    def _run_meta_family(self, order: Sequence[int], strategies: Sequence[str],
+                         measure_efficiency: bool) -> List[StrategyResult]:
+        results = {name: StrategyResult(strategy=name, encoder_type=self.config.encoder_type)
+                   for name in strategies}
+        agnostic = self.pretrain_agnostic()
+        learner = MetaLearner(agnostic, fine_tune_config=self.config.fine_tune,
+                              meta_config=self.config.meta, rng=child_rng(self._rng, "meta"))
+        light_budget = self._light_flops_budget()
+
+        for scenario_id in order:
+            scenario = self.collection.get(scenario_id)
+            heavy_model, query = learner.adapt(scenario.train)
+            learner.feedback([(heavy_model, query)])
+            if "meh" in results:
+                self._record(results["meh"], scenario, heavy_model, measure_efficiency)
+            if "mel" in results:
+                light = self._distilled_predefined_light(scenario, heavy_model)
+                self._record(results["mel"], scenario, light, measure_efficiency)
+            if "ours" in results:
+                searched = self._searched_light(scenario, heavy_model, light_budget)
+                self._record(results["ours"], scenario, searched, measure_efficiency)
+        return list(results.values())
+
+    def pretrain_agnostic(self) -> Module:
+        """Train the heavy model on the pooled data of the initial scenarios."""
+        pooled = self.collection.pooled_train(self.initial_ids)
+        model = build_model(self.heavy_config, rng=child_rng(self._rng, "agnostic"))
+        train_supervised(model, pooled, self.config.pretrain, rng=child_rng(self._rng, "pretrain"))
+        return model
+
+    def _light_flops_budget(self) -> float:
+        reference = build_model(self.light_config, rng=child_rng(self._rng, "light-ref"))
+        return float(reference.behavior_encoder.flops(self.light_config.max_seq_len))
+
+    def _distilled_predefined_light(self, scenario: ScenarioData, teacher: Module) -> Module:
+        light = build_model(self.light_config, rng=child_rng(self._rng, f"mel-{scenario.scenario_id}"))
+        distill(teacher, light, scenario.train, config=self.config.distillation,
+                rng=child_rng(self._rng, f"mel-distill-{scenario.scenario_id}"))
+        return light
+
+    def _searched_light(self, scenario: ScenarioData, teacher: Module, flops_budget: float) -> Module:
+        nas_model_config = self.light_config.with_overrides(encoder_type="nas")
+        searcher = BudgetLimitedNAS(nas_model_config, nas_config=self.config.nas,
+                                    rng=child_rng(self._rng, f"nas-{scenario.scenario_id}"))
+        nas_train, nas_val = train_test_split(scenario.train, test_fraction=0.3,
+                                              rng=child_rng(self._rng, f"nas-split-{scenario.scenario_id}"))
+        nas_result = searcher.search(nas_train, nas_val, teacher=teacher, flops_budget=flops_budget)
+        student = build_nas_model(nas_model_config, nas_result.genotype,
+                                  rng=child_rng(self._rng, f"ours-{scenario.scenario_id}"))
+        distill(teacher, student, scenario.train, config=self.config.distillation,
+                rng=child_rng(self._rng, f"ours-distill-{scenario.scenario_id}"))
+        return student
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _record(self, result: StrategyResult, scenario: ScenarioData, model: Module,
+                measure_efficiency: bool) -> None:
+        scenario_id = scenario.scenario_id
+        result.per_scenario_auc[scenario_id] = evaluate_auc(model, scenario.test)
+        seq_len = self.heavy_config.max_seq_len
+        flops_fn = getattr(model, "flops", None)
+        if callable(flops_fn):
+            result.per_scenario_flops[scenario_id] = float(flops_fn(seq_len))
+        if measure_efficiency and len(scenario.test) > 0:
+            batch = scenario.test.batch(np.arange(min(64, len(scenario.test))))
+            latency = measure_inference_time(model.predict_proba, batch, repeats=3, warmup=1)
+            result.per_scenario_latency_ms[scenario_id] = latency

@@ -1,0 +1,38 @@
+"""System-level modules of ALT (Fig. 7): feature factory, data preparation,
+scenario registry, agnostic/specific modules, model serving and orchestration."""
+
+from repro.system.agnostic_module import AgnosticInitConfig, InitializationReport, ScenarioAgnosticModule
+from repro.system.data_preparation import (
+    DataPreparation,
+    EqualWidthDiscretizer,
+    PreparedData,
+    StandardNormalizer,
+)
+from repro.system.feature_factory import FeatureFactory, FeatureGroup, FeatureSpec
+from repro.system.orchestrator import ALTSystem, ALTSystemConfig
+from repro.system.scenario import ScenarioRecord, ScenarioRegistry, ScenarioStatus
+from repro.system.serving import Deployment, ModelServer
+from repro.system.specific_module import ScenarioArtifacts, ScenarioSpecificModule, SpecificBuildConfig
+
+__all__ = [
+    "FeatureFactory",
+    "FeatureGroup",
+    "FeatureSpec",
+    "DataPreparation",
+    "StandardNormalizer",
+    "EqualWidthDiscretizer",
+    "PreparedData",
+    "ScenarioRegistry",
+    "ScenarioRecord",
+    "ScenarioStatus",
+    "ScenarioAgnosticModule",
+    "AgnosticInitConfig",
+    "InitializationReport",
+    "ScenarioSpecificModule",
+    "SpecificBuildConfig",
+    "ScenarioArtifacts",
+    "ModelServer",
+    "Deployment",
+    "ALTSystem",
+    "ALTSystemConfig",
+]

@@ -1,0 +1,202 @@
+"""Scenario Agnostic Module (Sec. IV-C, Fig. 4).
+
+Initialises and maintains the scenario agnostic heavy model.  Two candidate
+pipelines are supported, exactly as in Fig. 4:
+
+1. **Pre-designed architecture + hyper-parameter optimisation** — the Fig. 3
+   search space is tuned with the AntTune study (RACOS by default).
+2. **Automatic architecture search** — an evolutionary search over the
+   sequence search space.
+
+Both candidates are evaluated on a leave-out validation split of the pooled
+initial data and the better one becomes the initial agnostic model.  Either
+pipeline can also be disabled (the engineers "can choose one of them").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.algorithms.racos import RACOS
+from repro.automl.presets import apply_params_to_config, pre_designed_model_space
+from repro.automl.study import Study, StudyConfig
+from repro.automl.trial import Trial
+from repro.exceptions import ConfigurationError
+from repro.meta.agnostic import MetaLearner, MetaUpdateConfig
+from repro.meta.finetune import FineTuneConfig
+from repro.models.config import ModelConfig
+from repro.models.factory import build_model, build_nas_model
+from repro.nas.evolutionary import EvolutionConfig, EvolutionaryNAS
+from repro.nas.search_space import SequenceSearchSpace
+from repro.nn.data import ArrayDataset, train_test_split
+from repro.nn.module import Module
+from repro.training.trainer import TrainingConfig, evaluate_auc, train_supervised
+from repro.utils.rng import child_rng, new_rng
+
+__all__ = ["AgnosticInitConfig", "InitializationReport", "ScenarioAgnosticModule"]
+
+
+@dataclass(frozen=True)
+class AgnosticInitConfig:
+    """Configuration of the agnostic-model initialisation (Fig. 4).
+
+    Attributes:
+        strategy: "predesigned" (train the base config as-is), "hpo" (tune the
+            pre-designed architecture), "nas" (evolutionary architecture
+            search), or "both" (run hpo and nas, keep the better candidate).
+        hpo_trials: number of AntTune trials for the pre-designed pipeline.
+        nas_population / nas_generations: evolutionary search budget.
+        nas_layers: searched encoder depth for the NAS candidate.
+        candidate_epochs: training epochs used when scoring a candidate.
+        final_epochs: training epochs for the winning candidate on the full pool.
+        validation_fraction: leave-out fraction of the pooled initial data.
+        batch_size: training batch size.
+    """
+
+    strategy: str = "predesigned"
+    hpo_trials: int = 4
+    nas_population: int = 4
+    nas_generations: int = 1
+    nas_layers: int = 3
+    candidate_epochs: int = 1
+    final_epochs: int = 2
+    validation_fraction: float = 0.2
+    batch_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("predesigned", "hpo", "nas", "both"):
+            raise ConfigurationError(
+                f"strategy must be one of predesigned/hpo/nas/both, got {self.strategy!r}"
+            )
+
+
+@dataclass
+class InitializationReport:
+    """What happened during initialisation (which candidate won and why)."""
+
+    chosen: str
+    candidate_auc: Dict[str, float] = field(default_factory=dict)
+    best_hpo_params: Optional[Dict[str, object]] = None
+    nas_genotype_json: Optional[str] = None
+
+
+class ScenarioAgnosticModule:
+    """Builds and owns the scenario agnostic heavy model plus its meta-learner."""
+
+    def __init__(self, base_config: ModelConfig,
+                 init_config: Optional[AgnosticInitConfig] = None,
+                 fine_tune_config: Optional[FineTuneConfig] = None,
+                 meta_config: Optional[MetaUpdateConfig] = None,
+                 hpo_algorithm: Optional[SearchAlgorithm] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.base_config = base_config
+        self.init_config = init_config or AgnosticInitConfig()
+        self.fine_tune_config = fine_tune_config or FineTuneConfig()
+        self.meta_config = meta_config or MetaUpdateConfig()
+        self._rng = new_rng(rng if rng is not None else 0)
+        self._hpo_algorithm = hpo_algorithm
+        self.model: Optional[Module] = None
+        self.meta_learner: Optional[MetaLearner] = None
+        self.report: Optional[InitializationReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Candidate pipelines
+    # ------------------------------------------------------------------ #
+    def _train_candidate(self, config: ModelConfig, train: ArrayDataset, val: ArrayDataset,
+                         epochs: int, rng: np.random.Generator) -> Tuple[Module, float]:
+        model = build_model(config, rng=rng)
+        training = TrainingConfig(epochs=epochs, learning_rate=config.learning_rate,
+                                  batch_size=self.init_config.batch_size)
+        train_supervised(model, train, training, rng=rng)
+        return model, evaluate_auc(model, val)
+
+    def _hpo_candidate(self, train: ArrayDataset, val: ArrayDataset,
+                       report: InitializationReport) -> Tuple[Module, float]:
+        space = pre_designed_model_space(max_encoder_layers=self.base_config.num_encoder_layers)
+        algorithm = self._hpo_algorithm or RACOS(rng=child_rng(self._rng, "racos"))
+        study = Study(space, algorithm=algorithm,
+                      config=StudyConfig(maximize=True, n_trials=self.init_config.hpo_trials),
+                      rng=child_rng(self._rng, "hpo"))
+
+        def objective(trial: Trial) -> float:
+            config = apply_params_to_config(self.base_config, trial.params)
+            _, auc = self._train_candidate(config, train, val, self.init_config.candidate_epochs,
+                                           child_rng(self._rng, f"hpo-{trial.trial_id}"))
+            return auc
+
+        best = study.optimize(objective)
+        report.best_hpo_params = dict(best.params)
+        tuned_config = apply_params_to_config(self.base_config, best.params)
+        return self._train_candidate(tuned_config, train, val, self.init_config.final_epochs,
+                                     child_rng(self._rng, "hpo-final"))
+
+    def _nas_candidate(self, train: ArrayDataset, val: ArrayDataset,
+                       report: InitializationReport) -> Tuple[Module, float]:
+        space = SequenceSearchSpace(num_layers=self.init_config.nas_layers)
+        nas_config = self.base_config.with_overrides(encoder_type="nas")
+
+        def fitness(genotype) -> float:
+            model = build_nas_model(nas_config, genotype, rng=child_rng(self._rng, "nas-fit"))
+            training = TrainingConfig(epochs=self.init_config.candidate_epochs,
+                                      learning_rate=nas_config.learning_rate,
+                                      batch_size=self.init_config.batch_size)
+            train_supervised(model, train, training, rng=child_rng(self._rng, "nas-train"))
+            return evaluate_auc(model, val)
+
+        evolution = EvolutionaryNAS(
+            space, fitness,
+            config=EvolutionConfig(population_size=self.init_config.nas_population,
+                                   generations=self.init_config.nas_generations,
+                                   seq_len=self.base_config.max_seq_len,
+                                   channels=self.base_config.embed_dim),
+            rng=child_rng(self._rng, "nas-evo"),
+        )
+        result = evolution.search()
+        report.nas_genotype_json = result.best_genotype.to_json()
+        model = build_nas_model(nas_config, result.best_genotype, rng=child_rng(self._rng, "nas-final"))
+        training = TrainingConfig(epochs=self.init_config.final_epochs,
+                                  learning_rate=nas_config.learning_rate,
+                                  batch_size=self.init_config.batch_size)
+        train_supervised(model, train, training, rng=child_rng(self._rng, "nas-final-train"))
+        return model, evaluate_auc(model, val)
+
+    # ------------------------------------------------------------------ #
+    # Initialisation (Fig. 4)
+    # ------------------------------------------------------------------ #
+    def initialize(self, pooled_train: ArrayDataset) -> Module:
+        """Build the initial agnostic heavy model from the pooled initial scenarios."""
+        cfg = self.init_config
+        train, val = train_test_split(pooled_train, test_fraction=cfg.validation_fraction,
+                                      rng=child_rng(self._rng, "split"))
+        report = InitializationReport(chosen="predesigned")
+        candidates: Dict[str, Tuple[Module, float]] = {}
+
+        if cfg.strategy == "predesigned":
+            candidates["predesigned"] = self._train_candidate(
+                self.base_config, train, val, cfg.final_epochs, child_rng(self._rng, "pre"))
+        if cfg.strategy in ("hpo", "both"):
+            candidates["hpo"] = self._hpo_candidate(train, val, report)
+        if cfg.strategy in ("nas", "both"):
+            candidates["nas"] = self._nas_candidate(train, val, report)
+        if not candidates:
+            candidates["predesigned"] = self._train_candidate(
+                self.base_config, train, val, cfg.final_epochs, child_rng(self._rng, "pre"))
+
+        report.candidate_auc = {name: auc for name, (_, auc) in candidates.items()}
+        chosen_name, (model, _) = max(candidates.items(), key=lambda item: item[1][1])
+        report.chosen = chosen_name
+        self.report = report
+        self.model = model
+        self.meta_learner = MetaLearner(model, fine_tune_config=self.fine_tune_config,
+                                        meta_config=self.meta_config,
+                                        rng=child_rng(self._rng, "meta"))
+        return model
+
+    def require_meta_learner(self) -> MetaLearner:
+        if self.meta_learner is None:
+            raise ConfigurationError("the agnostic module has not been initialised yet")
+        return self.meta_learner

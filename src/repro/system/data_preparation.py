@@ -1,0 +1,133 @@
+"""Data Preparation module (Sec. IV-B).
+
+The paper's pipeline performs feature joining, feature processing
+(normalisation / discretisation), sample shuffling and sample partitioning
+before model construction.  Each step is a small reusable component so the
+pipeline can be configured per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset, train_test_split
+from repro.system.feature_factory import FeatureFactory
+from repro.utils.rng import new_rng
+
+__all__ = ["StandardNormalizer", "EqualWidthDiscretizer", "DataPreparation", "PreparedData"]
+
+
+class StandardNormalizer:
+    """Z-score normalisation fit on the training profiles and reused at serving time."""
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, profiles: np.ndarray) -> "StandardNormalizer":
+        profiles = np.asarray(profiles, dtype=np.float64)
+        self.mean_ = profiles.mean(axis=0)
+        self.std_ = profiles.std(axis=0)
+        return self
+
+    def transform(self, profiles: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("normalizer must be fit before transform")
+        return (np.asarray(profiles, dtype=np.float64) - self.mean_) / (self.std_ + self.eps)
+
+    def fit_transform(self, profiles: np.ndarray) -> np.ndarray:
+        return self.fit(profiles).transform(profiles)
+
+
+class EqualWidthDiscretizer:
+    """Optional equal-width binning of selected profile columns."""
+
+    def __init__(self, n_bins: int = 8) -> None:
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.edges_: Dict[int, np.ndarray] = {}
+
+    def fit(self, profiles: np.ndarray, columns: Sequence[int]) -> "EqualWidthDiscretizer":
+        profiles = np.asarray(profiles, dtype=np.float64)
+        for column in columns:
+            low, high = profiles[:, column].min(), profiles[:, column].max()
+            if high <= low:
+                high = low + 1.0
+            self.edges_[column] = np.linspace(low, high, self.n_bins + 1)[1:-1]
+        return self
+
+    def transform(self, profiles: np.ndarray) -> np.ndarray:
+        result = np.asarray(profiles, dtype=np.float64).copy()
+        for column, edges in self.edges_.items():
+            result[:, column] = np.digitize(result[:, column], edges).astype(np.float64)
+        return result
+
+
+@dataclass
+class PreparedData:
+    """Output of the preparation pipeline for one scenario."""
+
+    train: ArrayDataset
+    test: ArrayDataset
+    normalizer: StandardNormalizer
+
+
+class DataPreparation:
+    """Join, process, shuffle and partition the samples of one scenario."""
+
+    def __init__(self, test_fraction: float = 0.2, discretize_columns: Optional[Sequence[int]] = None,
+                 n_bins: int = 8, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        self.test_fraction = test_fraction
+        self.discretize_columns = list(discretize_columns) if discretize_columns else []
+        self.n_bins = n_bins
+        self._rng = new_rng(rng if rng is not None else 0)
+
+    # ------------------------------------------------------------------ #
+    # Feature joining
+    # ------------------------------------------------------------------ #
+    def join(self, factory: FeatureFactory, profile_feature: str, behavior_feature: str,
+             user_ids: Sequence[str], labels: Sequence[float],
+             max_seq_len: int) -> ArrayDataset:
+        """Link users with their features from the factory and attach labels."""
+        if len(user_ids) != len(labels):
+            raise ValueError("user_ids and labels must align")
+        profiles = factory.lookup(profile_feature, user_ids)
+        raw_sequences = factory.lookup_list(behavior_feature, user_ids)
+        sequences = np.zeros((len(user_ids), max_seq_len), dtype=np.int64)
+        mask = np.zeros((len(user_ids), max_seq_len), dtype=np.float64)
+        for i, row in enumerate(raw_sequences):
+            events = np.asarray(row, dtype=np.int64).reshape(-1)[:max_seq_len]
+            sequences[i, :len(events)] = events
+            mask[i, :len(events)] = 1.0
+        return ArrayDataset(profiles, sequences, mask, np.asarray(labels, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Processing + partitioning
+    # ------------------------------------------------------------------ #
+    def prepare(self, dataset: ArrayDataset, shuffle: bool = True) -> PreparedData:
+        """Normalise (and optionally discretise) profiles, shuffle and split."""
+        profiles = dataset.profiles
+        discretizer = None
+        if self.discretize_columns:
+            discretizer = EqualWidthDiscretizer(self.n_bins).fit(profiles, self.discretize_columns)
+            profiles = discretizer.transform(profiles)
+        normalizer = StandardNormalizer().fit(profiles)
+        profiles = normalizer.transform(profiles)
+        processed = ArrayDataset(profiles, dataset.sequences, dataset.mask, dataset.labels)
+        if shuffle:
+            order = self._rng.permutation(len(processed))
+            processed = processed.subset(order)
+        train, test = train_test_split(processed, test_fraction=self.test_fraction, rng=self._rng)
+        return PreparedData(train=train, test=test, normalizer=normalizer)
+
+    def transform_for_serving(self, prepared: PreparedData, dataset: ArrayDataset) -> ArrayDataset:
+        """Apply the stored normalisation to freshly joined serving-time samples."""
+        profiles = prepared.normalizer.transform(dataset.profiles)
+        return ArrayDataset(profiles, dataset.sequences, dataset.mask, dataset.labels)

@@ -1,0 +1,85 @@
+"""Scenario registry: lifecycle tracking of every long tail scenario."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import ScenarioNotFoundError
+
+__all__ = ["ScenarioStatus", "ScenarioRecord", "ScenarioRegistry"]
+
+
+class ScenarioStatus(enum.Enum):
+    """Lifecycle of one scenario inside the ALT system."""
+
+    REGISTERED = "registered"
+    PREPARING = "preparing"
+    TRAINING = "training"
+    SERVING = "serving"
+    FAILED = "failed"
+
+
+@dataclass
+class ScenarioRecord:
+    """Bookkeeping entry for one scenario.
+
+    Attributes:
+        scenario_id: unique identifier.
+        name: human-readable name (bank / advertiser / surface).
+        status: lifecycle state.
+        is_initial: whether the scenario was part of the initial pool.
+        metrics: arbitrary metrics recorded by the pipeline (AUC, FLOPs, ...).
+        events: append-only log of (clock, message) pipeline events.
+    """
+
+    scenario_id: int
+    name: str
+    status: ScenarioStatus = ScenarioStatus.REGISTERED
+    is_initial: bool = False
+    metrics: Dict[str, float] = field(default_factory=dict)
+    events: List[str] = field(default_factory=list)
+
+    def log(self, message: str) -> None:
+        self.events.append(message)
+
+
+class ScenarioRegistry:
+    """Registry of every scenario known to the system."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, ScenarioRecord] = {}
+
+    def register(self, scenario_id: int, name: str, is_initial: bool = False) -> ScenarioRecord:
+        if scenario_id in self._records:
+            return self._records[scenario_id]
+        record = ScenarioRecord(scenario_id=scenario_id, name=name, is_initial=is_initial)
+        self._records[scenario_id] = record
+        return record
+
+    def get(self, scenario_id: int) -> ScenarioRecord:
+        if scenario_id not in self._records:
+            raise ScenarioNotFoundError(f"scenario {scenario_id} is not registered")
+        return self._records[scenario_id]
+
+    def __contains__(self, scenario_id: int) -> bool:
+        return scenario_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def ids(self) -> List[int]:
+        return sorted(self._records)
+
+    def with_status(self, status: ScenarioStatus) -> List[ScenarioRecord]:
+        return [r for r in self._records.values() if r.status == status]
+
+    def set_status(self, scenario_id: int, status: ScenarioStatus, message: Optional[str] = None) -> None:
+        record = self.get(scenario_id)
+        record.status = status
+        if message:
+            record.log(message)
+
+    def record_metric(self, scenario_id: int, name: str, value: float) -> None:
+        self.get(scenario_id).metrics[name] = float(value)

@@ -1,0 +1,196 @@
+"""Scenario Specific Module (Sec. IV-D).
+
+For every arriving scenario this module:
+
+1. copies the scenario agnostic heavy model and fine-tunes it on the
+   scenario's support set (the *scenario specific heavy model*, Eq. 1),
+2. sends the query-set feedback back to the agnostic model (Eq. 2/3),
+3. runs the budget-limited NAS with the heavy model as distillation teacher
+   and trains the resulting *scenario specific light model* (Eq. 4/5).
+
+Multiple scenarios can be processed in one call; their feedback is aggregated
+into a single conservative update of the agnostic model, mirroring the
+asynchronous multi-scenario support described in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.meta.agnostic import MetaLearner
+from repro.meta.distillation import DistillationConfig, distill
+from repro.models.config import ModelConfig, light_config
+from repro.models.factory import build_model, build_nas_model
+from repro.nas.genotype import Genotype
+from repro.nas.search import BudgetLimitedNAS, NASConfig
+from repro.nn.data import ArrayDataset, train_test_split
+from repro.nn.module import Module
+from repro.training.trainer import evaluate_auc
+from repro.utils.rng import child_rng, new_rng
+
+__all__ = ["SpecificBuildConfig", "ScenarioArtifacts", "ScenarioSpecificModule"]
+
+
+@dataclass(frozen=True)
+class SpecificBuildConfig:
+    """Configuration of the per-scenario pipeline.
+
+    Attributes:
+        nas: budget-limited NAS settings.
+        distillation: student training settings (Eq. 5).
+        flops_budget: hard FLOPs cap for the searched behaviour encoder; when
+            None it defaults to the FLOPs of the pre-defined light behaviour
+            encoder (paper: "the upper bound ... is set to be the same as the
+            light models").
+        nas_validation_fraction: fraction of the scenario train data used as the
+            NAS validation split.
+    """
+
+    nas: NASConfig = field(default_factory=NASConfig)
+    distillation: DistillationConfig = field(default_factory=DistillationConfig)
+    flops_budget: Optional[float] = None
+    nas_validation_fraction: float = 0.3
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Everything the pipeline produced for one scenario."""
+
+    scenario_id: int
+    heavy_model: Module
+    light_model: Module
+    genotype: Genotype
+    heavy_flops: int
+    light_flops: int
+    flops_budget: float
+    heavy_auc: Optional[float] = None
+    light_auc: Optional[float] = None
+    pipeline_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class ScenarioSpecificModule:
+    """Runs the Eq. 1-5 pipeline for arriving scenarios."""
+
+    def __init__(self, meta_learner: MetaLearner, model_config: ModelConfig,
+                 build_config: Optional[SpecificBuildConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.meta_learner = meta_learner
+        self.model_config = model_config
+        self.build_config = build_config or SpecificBuildConfig()
+        self._rng = new_rng(rng if rng is not None else 0)
+
+    # ------------------------------------------------------------------ #
+    # Budget helper
+    # ------------------------------------------------------------------ #
+    def default_flops_budget(self) -> float:
+        """FLOPs of the pre-defined light behaviour encoder (the paper's budget)."""
+        if self.build_config.flops_budget is not None:
+            return float(self.build_config.flops_budget)
+        # The paper sets the budget to the pre-defined light model: half the heavy
+        # encoder depth (6 -> 3 layers), never less than one layer.
+        light_layers = max(1, self.model_config.num_encoder_layers // 2)
+        light = light_config(
+            profile_dim=self.model_config.profile_dim,
+            vocab_size=self.model_config.vocab_size,
+            max_seq_len=self.model_config.max_seq_len,
+            encoder_type="lstm" if self.model_config.encoder_type == "nas" else self.model_config.encoder_type,
+            embed_dim=self.model_config.embed_dim,
+            num_encoder_layers=light_layers,
+        )
+        reference = build_model(light, rng=child_rng(self._rng, "budget"))
+        return float(reference.behavior_encoder.flops(self.model_config.max_seq_len))
+
+    # ------------------------------------------------------------------ #
+    # Single scenario
+    # ------------------------------------------------------------------ #
+    def build(self, scenario_id: int, scenario_train: ArrayDataset,
+              scenario_test: Optional[ArrayDataset] = None,
+              send_feedback: bool = True) -> ScenarioArtifacts:
+        """Run the full heavy -> light pipeline for one scenario."""
+        start = time.perf_counter()
+        stages: Dict[str, float] = {}
+
+        stage_start = time.perf_counter()
+        heavy_model, query = self.meta_learner.adapt(scenario_train)
+        stages["fine_tune_heavy"] = time.perf_counter() - stage_start
+
+        if send_feedback:
+            stage_start = time.perf_counter()
+            self.meta_learner.feedback([(heavy_model, query)])
+            stages["agnostic_feedback"] = time.perf_counter() - stage_start
+
+        artifacts = self._build_light(scenario_id, heavy_model, scenario_train, scenario_test, stages)
+        artifacts.pipeline_seconds = time.perf_counter() - start
+        return artifacts
+
+    # ------------------------------------------------------------------ #
+    # Multiple simultaneous scenarios (aggregated feedback, Eq. 3)
+    # ------------------------------------------------------------------ #
+    def build_many(self, scenarios: Sequence[Tuple[int, ArrayDataset, Optional[ArrayDataset]]]
+                   ) -> List[ScenarioArtifacts]:
+        """Process several scenarios 'in parallel': one aggregated agnostic update."""
+        adapted: List[Tuple[Module, ArrayDataset]] = []
+        heavy_models: Dict[int, Module] = {}
+        for scenario_id, train, _ in scenarios:
+            heavy, query = self.meta_learner.adapt(train)
+            adapted.append((heavy, query))
+            heavy_models[scenario_id] = heavy
+        self.meta_learner.feedback(adapted)
+        results = []
+        for scenario_id, train, test in scenarios:
+            stages: Dict[str, float] = {}
+            start = time.perf_counter()
+            artifacts = self._build_light(scenario_id, heavy_models[scenario_id], train, test, stages)
+            artifacts.pipeline_seconds = time.perf_counter() - start
+            results.append(artifacts)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_light(self, scenario_id: int, heavy_model: Module, scenario_train: ArrayDataset,
+                     scenario_test: Optional[ArrayDataset], stages: Dict[str, float]) -> ScenarioArtifacts:
+        cfg = self.build_config
+        budget = self.default_flops_budget()
+
+        stage_start = time.perf_counter()
+        nas_train, nas_val = train_test_split(scenario_train,
+                                              test_fraction=cfg.nas_validation_fraction,
+                                              rng=child_rng(self._rng, f"nas-split-{scenario_id}"))
+        searcher = BudgetLimitedNAS(self.model_config.with_overrides(encoder_type="nas"),
+                                    nas_config=cfg.nas,
+                                    rng=child_rng(self._rng, f"nas-{scenario_id}"))
+        nas_result = searcher.search(nas_train, nas_val, teacher=heavy_model, flops_budget=budget)
+        stages["budget_nas"] = time.perf_counter() - stage_start
+
+        stage_start = time.perf_counter()
+        light_model = build_nas_model(self.model_config.with_overrides(encoder_type="nas"),
+                                      nas_result.genotype,
+                                      rng=child_rng(self._rng, f"light-{scenario_id}"))
+        distill(heavy_model, light_model, scenario_train, config=cfg.distillation,
+                rng=child_rng(self._rng, f"distill-{scenario_id}"))
+        stages["distillation"] = time.perf_counter() - stage_start
+
+        heavy_auc = light_auc = None
+        if scenario_test is not None and len(scenario_test) > 0:
+            heavy_auc = evaluate_auc(heavy_model, scenario_test)
+            light_auc = evaluate_auc(light_model, scenario_test)
+
+        seq_len = self.model_config.max_seq_len
+        return ScenarioArtifacts(
+            scenario_id=scenario_id,
+            heavy_model=heavy_model,
+            light_model=light_model,
+            genotype=nas_result.genotype,
+            heavy_flops=int(heavy_model.flops(seq_len)),
+            light_flops=int(light_model.flops(seq_len)),
+            flops_budget=budget,
+            heavy_auc=heavy_auc,
+            light_auc=light_auc,
+            stage_seconds=stages,
+        )

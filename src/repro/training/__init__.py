@@ -1,0 +1,5 @@
+"""Training loops shared by the strategies, meta-learning and NAS modules."""
+
+from repro.training.trainer import TrainingConfig, TrainingHistory, evaluate_auc, train_supervised
+
+__all__ = ["TrainingConfig", "TrainingHistory", "train_supervised", "evaluate_auc"]

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG handling, timing and serialization."""
+
+from repro.utils.rng import child_rng, new_rng, spawn_rngs
+from repro.utils.serialization import load_state, save_state
+from repro.utils.timer import Timer, timed
+
+__all__ = [
+    "new_rng",
+    "child_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "save_state",
+    "load_state",
+]

@@ -1,0 +1,44 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the reproduction (dataset generation, weight
+initialisation, HPO/NAS sampling, meta-learning splits) takes an explicit
+``numpy.random.Generator``.  These helpers create and derive such generators
+reproducibly so entire benchmark tables are deterministic given one seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["new_rng", "child_rng", "spawn_rngs"]
+
+SeedLike = Optional[Union[int, np.random.Generator]]
+
+
+def new_rng(seed: SeedLike = 0) -> np.random.Generator:
+    """Return a Generator from a seed, passing through existing generators."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_rng(rng: np.random.Generator, tag: Union[int, str]) -> np.random.Generator:
+    """Derive a named child generator (stable for a given parent state and tag).
+
+    String tags are hashed with CRC32 (not Python's ``hash``) so the derived
+    seed is identical across processes regardless of ``PYTHONHASHSEED``.
+    """
+    if isinstance(tag, str):
+        tag = zlib.crc32(tag.encode("utf-8")) % (2 ** 31)
+    seed = int(rng.integers(0, 2 ** 31 - 1)) ^ int(tag)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent generators from one seed."""
+    base = new_rng(seed)
+    seeds = base.integers(0, 2 ** 31 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

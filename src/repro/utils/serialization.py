@@ -1,0 +1,57 @@
+"""Model state persistence.
+
+The model-serving module stores scenario specific light models on disk so that
+deployment survives process restarts.  States are a flat ``name -> ndarray``
+mapping (see :meth:`repro.nn.Module.state_dict`) and are saved as ``.npz``
+archives plus a small JSON manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+PathLike = Union[str, Path]
+
+
+def save_state(path: PathLike, state: Dict[str, np.ndarray],
+               metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Save a state dict (and optional JSON-serialisable metadata) to ``path``.
+
+    ``path`` may omit the ``.npz`` suffix; the metadata is written next to it
+    as ``<path>.meta.json``.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+    if metadata is not None:
+        meta_path = path.with_suffix(".meta.json")
+        meta_path.write_text(json.dumps(metadata, indent=2, sort_keys=True))
+    return path
+
+
+def load_state(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state`."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def load_metadata(path: PathLike) -> Dict[str, object]:
+    """Load the JSON metadata stored next to a state archive (empty if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    meta_path = path.with_suffix(".meta.json")
+    if not meta_path.exists():
+        return {}
+    return json.loads(meta_path.read_text())

@@ -1,0 +1,61 @@
+"""Wall-clock timing helpers used for inference-latency reporting (Table V)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulate named wall-clock durations.
+
+    Example::
+
+        timer = Timer()
+        with timer.measure("inference"):
+            model(batch)
+        timer.mean_ms("inference")
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        return float(sum(self.records.get(name, [])))
+
+    def count(self, name: str) -> int:
+        return len(self.records.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self.records.get(name, [])
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def mean_ms(self, name: str) -> float:
+        return self.mean(name) * 1000.0
+
+    def reset(self) -> None:
+        self.records.clear()
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager yielding a single-element list that receives the elapsed seconds."""
+    holder: List[float] = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

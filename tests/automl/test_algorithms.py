@@ -1,0 +1,109 @@
+"""Tests for the HPO algorithms (random, grid, evolutionary, Bayesian, RACOS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automl.algorithms import (
+    RACOS,
+    BayesianOptimization,
+    EvolutionarySearch,
+    GridSearch,
+    RandomSearch,
+)
+from repro.automl.search_space import Choice, IntUniform, SearchSpace, Uniform
+from repro.automl.study import Study, StudyConfig
+
+
+@pytest.fixture
+def quadratic_space():
+    return SearchSpace({"x": Uniform(-1.0, 1.0), "y": Uniform(-1.0, 1.0)})
+
+
+def quadratic_objective(trial):
+    """Maximum value 1.0 at (x, y) = (0.3, -0.2)."""
+    x, y = trial.params["x"], trial.params["y"]
+    return 1.0 - (x - 0.3) ** 2 - (y + 0.2) ** 2
+
+
+ALGORITHMS = [
+    ("random", lambda rng: RandomSearch(rng=rng)),
+    ("grid", lambda rng: GridSearch(resolution=4, rng=rng)),
+    ("evolutionary", lambda rng: EvolutionarySearch(population_size=4, rng=rng)),
+    ("bayesian", lambda rng: BayesianOptimization(n_initial=5, candidate_pool=64, rng=rng)),
+    ("racos", lambda rng: RACOS(rng=rng)),
+]
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("name,factory", ALGORITHMS)
+    def test_finds_reasonable_optimum(self, name, factory, quadratic_space):
+        study = Study(quadratic_space, algorithm=factory(np.random.default_rng(0)),
+                      config=StudyConfig(maximize=True, n_trials=25),
+                      rng=np.random.default_rng(0))
+        best = study.optimize(quadratic_objective)
+        assert best.value > 0.8, f"{name} found only {best.value:.3f}"
+
+    @pytest.mark.parametrize("name,factory", ALGORITHMS)
+    def test_ask_returns_valid_params(self, name, factory, quadratic_space):
+        algorithm = factory(np.random.default_rng(1))
+        params = algorithm.ask(quadratic_space, [], maximize=True)
+        assert set(params) == {"x", "y"}
+        assert -1.0 <= params["x"] <= 1.0
+
+    @pytest.mark.parametrize("name,factory", ALGORITHMS)
+    def test_minimization_direction(self, name, factory, quadratic_space):
+        study = Study(quadratic_space, algorithm=factory(np.random.default_rng(2)),
+                      config=StudyConfig(maximize=False, n_trials=20),
+                      rng=np.random.default_rng(2))
+        best = study.optimize(lambda t: -quadratic_objective(t))
+        assert best.value < -0.8
+
+
+class TestMixedSpaces:
+    def test_algorithms_handle_categorical_and_int(self):
+        space = SearchSpace({
+            "layers": IntUniform(1, 4),
+            "activation": Choice(("relu", "tanh")),
+            "lr": Uniform(0.001, 0.1),
+        })
+
+        def objective(trial):
+            bonus = 0.5 if trial.params["activation"] == "relu" else 0.0
+            return bonus + trial.params["layers"] / 4.0 - abs(trial.params["lr"] - 0.05)
+
+        for factory in (lambda: RACOS(rng=np.random.default_rng(0)),
+                        lambda: EvolutionarySearch(rng=np.random.default_rng(0)),
+                        lambda: BayesianOptimization(n_initial=4, rng=np.random.default_rng(0))):
+            study = Study(space, algorithm=factory(),
+                          config=StudyConfig(n_trials=20), rng=np.random.default_rng(0))
+            best = study.optimize(objective)
+            assert best.value >= 0.9
+
+
+class TestConstructorValidation:
+    def test_grid_resolution(self):
+        with pytest.raises(ValueError):
+            GridSearch(resolution=0)
+
+    def test_evolutionary_population(self):
+        with pytest.raises(ValueError):
+            EvolutionarySearch(population_size=1)
+
+    def test_bayesian_initial(self):
+        with pytest.raises(ValueError):
+            BayesianOptimization(n_initial=0)
+
+    def test_racos_fractions(self):
+        with pytest.raises(ValueError):
+            RACOS(positive_fraction=0.0)
+        with pytest.raises(ValueError):
+            RACOS(exploration=1.5)
+
+    def test_grid_exhaustion_falls_back_to_random(self):
+        space = SearchSpace({"a": Choice((1, 2))})
+        grid = GridSearch(resolution=2, rng=np.random.default_rng(0))
+        seen = [grid.ask(space, [], True) for _ in range(4)]
+        assert {s["a"] for s in seen[:2]} == {1, 2}
+        assert all(s["a"] in (1, 2) for s in seen)

@@ -1,0 +1,120 @@
+"""Tests for hyper-parameter search spaces and the unit-cube encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automl.presets import apply_params_to_config, pre_designed_model_space
+from repro.automl.search_space import Choice, IntUniform, LogUniform, SearchSpace, Uniform
+from repro.exceptions import SearchSpaceError
+from repro.models.config import ModelConfig
+
+
+@pytest.fixture
+def space():
+    return SearchSpace({
+        "lr": LogUniform(1e-4, 1e-1),
+        "width": IntUniform(4, 64),
+        "dropout": Uniform(0.0, 0.5),
+        "pool": Choice(("mean", "max", "attention")),
+    })
+
+
+class TestParamSpecs:
+    def test_uniform_bounds(self):
+        spec = Uniform(-1.0, 2.0)
+        rng = np.random.default_rng(0)
+        values = [spec.sample(rng) for _ in range(50)]
+        assert all(-1.0 <= v <= 2.0 for v in values)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(SearchSpaceError):
+            Uniform(1.0, 1.0)
+
+    def test_loguniform_bounds_and_roundtrip(self):
+        spec = LogUniform(1e-4, 1e-1)
+        assert spec.from_unit(spec.to_unit(1e-3)) == pytest.approx(1e-3, rel=1e-9)
+        with pytest.raises(SearchSpaceError):
+            LogUniform(0.0, 1.0)
+
+    def test_int_uniform(self):
+        spec = IntUniform(2, 6)
+        rng = np.random.default_rng(0)
+        values = {spec.sample(rng) for _ in range(100)}
+        assert values <= {2, 3, 4, 5, 6}
+        assert spec.from_unit(0.0) == 2 and spec.from_unit(1.0) == 6
+
+    def test_choice_roundtrip_and_errors(self):
+        spec = Choice(("a", "b", "c"))
+        assert spec.from_unit(spec.to_unit("b")) == "b"
+        with pytest.raises(SearchSpaceError):
+            spec.to_unit("z")
+        with pytest.raises(SearchSpaceError):
+            Choice(())
+
+    def test_grids(self):
+        assert len(Uniform(0, 1).grid(3)) == 3
+        assert IntUniform(1, 2).grid(5) == [1, 2]
+        assert Choice((1, 2, 3)).grid(99) == [1, 2, 3]
+
+
+class TestSearchSpace:
+    def test_sample_contains_all_names(self, space):
+        params = space.sample(np.random.default_rng(0))
+        assert set(params) == set(space.names)
+
+    def test_unit_roundtrip(self, space):
+        rng = np.random.default_rng(1)
+        params = space.sample(rng)
+        vector = space.to_unit(params)
+        restored = space.from_unit(vector)
+        assert restored["pool"] == params["pool"]
+        assert restored["width"] == params["width"]
+        assert restored["lr"] == pytest.approx(params["lr"], rel=1e-6)
+
+    def test_missing_parameter_raises(self, space):
+        with pytest.raises(SearchSpaceError):
+            space.to_unit({"lr": 0.01})
+
+    def test_wrong_vector_dim_raises(self, space):
+        with pytest.raises(SearchSpaceError):
+            space.from_unit(np.zeros(2))
+
+    def test_empty_space_raises(self):
+        with pytest.raises(SearchSpaceError):
+            SearchSpace({})
+
+    def test_grid_product_size(self):
+        space = SearchSpace({"a": Choice((1, 2)), "b": IntUniform(0, 1)})
+        assert len(space.grid(2)) == 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_samples_encode_into_unit_cube(self, seed):
+        space = SearchSpace({
+            "lr": LogUniform(1e-5, 1e-1),
+            "layers": IntUniform(1, 6),
+            "act": Choice(("relu", "gelu")),
+        })
+        params = space.sample(np.random.default_rng(seed))
+        vector = space.to_unit(params)
+        assert np.all((vector >= 0.0) & (vector <= 1.0))
+
+
+class TestPresets:
+    def test_pre_designed_space_matches_figure3(self):
+        space = pre_designed_model_space()
+        assert set(space.names) == {"learning_rate", "profile_hidden", "num_encoder_layers", "head_hidden"}
+
+    def test_apply_params_to_config(self):
+        base = ModelConfig(profile_dim=6, vocab_size=12, max_seq_len=8, embed_dim=8)
+        params = {"learning_rate": 0.003, "profile_hidden": (64, 16),
+                  "num_encoder_layers": 2, "head_hidden": (8,)}
+        updated = apply_params_to_config(base, params)
+        assert updated.learning_rate == pytest.approx(0.003)
+        assert updated.profile_hidden == (64, 16)
+        assert updated.num_encoder_layers == 2
+        assert base.num_encoder_layers == 6

@@ -1,0 +1,64 @@
+"""Shared fixtures: tiny datasets and model configurations that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import ScenarioCollection, ScenarioSpec, SyntheticWorld, WorldConfig
+from repro.models.config import ModelConfig
+from repro.nn.data import ArrayDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_world() -> SyntheticWorld:
+    config = WorldConfig(profile_dim=6, vocab_size=12, seq_len=8, min_seq_len=3)
+    return SyntheticWorld(config, seed=3)
+
+
+@pytest.fixture
+def tiny_collection(tiny_world: SyntheticWorld) -> ScenarioCollection:
+    scenarios = []
+    sizes = [90, 70, 60, 50]
+    for index, size in enumerate(sizes, start=1):
+        spec = ScenarioSpec(scenario_id=index, name=f"scenario-{index}", size=size,
+                            base_rate_logit=0.0, shift_seed=3)
+        scenarios.append(tiny_world.generate(spec, rng=np.random.default_rng(100 + index)))
+    return ScenarioCollection(tiny_world, scenarios)
+
+
+@pytest.fixture
+def tiny_model_config(tiny_world: SyntheticWorld) -> ModelConfig:
+    cfg = tiny_world.config
+    return ModelConfig(
+        profile_dim=cfg.profile_dim,
+        vocab_size=cfg.vocab_size,
+        max_seq_len=cfg.seq_len,
+        embed_dim=8,
+        profile_hidden=(8, 8),
+        head_hidden=(8,),
+        encoder_type="lstm",
+        num_encoder_layers=2,
+        num_heads=2,
+        ff_dim=16,
+        learning_rate=0.01,
+        batch_size=32,
+        epochs=1,
+    )
+
+
+@pytest.fixture
+def tiny_dataset(rng: np.random.Generator) -> ArrayDataset:
+    """A small labelled dataset with profile, sequence and mask arrays."""
+    n, profile_dim, seq_len, vocab = 48, 6, 8, 12
+    profiles = rng.normal(size=(n, profile_dim))
+    sequences = rng.integers(0, vocab, size=(n, seq_len))
+    mask = np.ones((n, seq_len))
+    mask[:, 6:] = 0.0
+    labels = (profiles[:, 0] + 0.5 * profiles[:, 1] + rng.normal(0, 0.3, size=n) > 0).astype(float)
+    return ArrayDataset(profiles, sequences, mask, labels)

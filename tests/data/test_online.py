@@ -1,0 +1,68 @@
+"""Tests for the simulated online recommendation experiment (Fig. 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.online import DayResult, OnlineConfig, OnlineExperiment, make_online_collection
+
+
+@pytest.fixture(scope="module")
+def online_collection():
+    return make_online_collection(num_scenarios=4, samples_per_scenario=40, seq_len=8,
+                                  profile_dim=6, vocab_size=12, seed=5)
+
+
+@pytest.fixture
+def experiment(online_collection):
+    return OnlineExperiment(online_collection,
+                            OnlineConfig(num_days=2, impressions_per_day=30, serve_fraction=0.3,
+                                         seed=9))
+
+
+class TestOnlineCollection:
+    def test_has_requested_scenarios(self, online_collection):
+        assert len(online_collection) == 4
+        for scenario in online_collection:
+            assert scenario.total_size > 0
+
+
+class TestOnlineExperiment:
+    def test_oracle_beats_random_policy(self, online_collection, experiment):
+        world = online_collection.world
+
+        def oracle(scenario_id, candidates):
+            spec = online_collection.get(scenario_id).spec
+            return world.true_click_probabilities(candidates, spec)
+
+        def random_policy(scenario_id, candidates):
+            return np.random.default_rng(scenario_id).random(len(candidates))
+
+        results = experiment.run({"oracle": oracle, "random": random_policy})
+        assert len(results) == 2
+        for day in results:
+            assert day.ctr_by_strategy["oracle"] > day.ctr_by_strategy["random"]
+        improvement = OnlineExperiment.average_relative_improvement(results, "oracle", "random")
+        assert improvement > 0
+
+    def test_relative_improvement_computation(self):
+        day = DayResult(day=1, ctr_by_strategy={"ours": 0.11, "baseline": 0.10})
+        assert day.relative_improvement("ours", "baseline") == pytest.approx(10.0)
+
+    def test_policy_shape_validation(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run({"bad": lambda sid, cands: np.zeros(3)})
+
+    def test_requires_at_least_one_policy(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run({})
+
+    def test_stream_is_deterministic(self, online_collection):
+        config = OnlineConfig(num_days=1, impressions_per_day=20, seed=3)
+        exp1 = OnlineExperiment(online_collection, config)
+        exp2 = OnlineExperiment(online_collection, config)
+        policy = {"p": lambda sid, cands: cands.profiles[:, 0]}
+        r1 = exp1.run(dict(policy))
+        r2 = exp2.run(dict(policy))
+        assert r1[0].ctr_by_strategy == r2[0].ctr_by_strategy

@@ -1,0 +1,128 @@
+"""Tests for the synthetic world, scenario collections and dataset A/B replicas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset_a import DATASET_A_SIZES, make_dataset_a, scaled_sizes
+from repro.data.dataset_b import DATASET_B_SIZES, make_dataset_b
+from repro.data.synthetic import ScenarioCollection, ScenarioSpec, SyntheticWorld, WorldConfig
+
+
+class TestSyntheticWorld:
+    def test_generated_shapes_and_mask(self, tiny_world):
+        spec = ScenarioSpec(scenario_id=1, name="s1", size=40)
+        scenario = tiny_world.generate(spec, rng=np.random.default_rng(0))
+        cfg = tiny_world.config
+        assert scenario.train.profiles.shape[1] == cfg.profile_dim
+        assert scenario.train.sequences.shape[1] == cfg.seq_len
+        assert scenario.total_size == 40
+        # Mask marks a contiguous prefix of valid positions.
+        mask = scenario.train.mask
+        assert np.all((mask == 0) | (mask == 1))
+        assert np.all(mask.sum(axis=1) >= cfg.min_seq_len)
+        # Tokens outside the mask are padding zeros.
+        assert np.all(scenario.train.sequences[mask == 0] == 0)
+
+    def test_generation_is_reproducible(self, tiny_world):
+        spec = ScenarioSpec(scenario_id=2, name="s2", size=30)
+        a = tiny_world.generate(spec, rng=np.random.default_rng(5))
+        b = tiny_world.generate(spec, rng=np.random.default_rng(5))
+        np.testing.assert_allclose(a.train.profiles, b.train.profiles)
+        np.testing.assert_allclose(a.train.labels, b.train.labels)
+
+    def test_labels_are_binary_and_mixed(self, tiny_world):
+        spec = ScenarioSpec(scenario_id=3, name="s3", size=200)
+        scenario = tiny_world.generate(spec, rng=np.random.default_rng(1))
+        labels = np.concatenate([scenario.train.labels, scenario.test.labels])
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert 0.05 < labels.mean() < 0.95
+
+    def test_true_probabilities_in_unit_interval(self, tiny_world):
+        spec = ScenarioSpec(scenario_id=4, name="s4", size=50)
+        scenario = tiny_world.generate(spec, rng=np.random.default_rng(2))
+        probs = tiny_world.true_click_probabilities(scenario.train, spec)
+        assert probs.shape == (len(scenario.train),)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_base_rate_shifts_positive_rate(self, tiny_world):
+        low = tiny_world.generate(ScenarioSpec(10, "low", 400, base_rate_logit=-2.0),
+                                  rng=np.random.default_rng(3))
+        high = tiny_world.generate(ScenarioSpec(11, "high", 400, base_rate_logit=2.0),
+                                   rng=np.random.default_rng(3))
+        assert high.train.positive_rate > low.train.positive_rate
+
+
+class TestScenarioCollection:
+    def test_iteration_and_lookup(self, tiny_collection):
+        ids = tiny_collection.ids()
+        assert ids == [1, 2, 3, 4]
+        assert tiny_collection.get(2).scenario_id == 2
+        with pytest.raises(KeyError):
+            tiny_collection.get(99)
+        assert len(tiny_collection) == 4
+
+    def test_select_initial_is_subset(self, tiny_collection):
+        chosen = tiny_collection.select_initial(2, rng=np.random.default_rng(0))
+        assert len(chosen) == 2 and set(chosen) <= set(tiny_collection.ids())
+        everything = tiny_collection.select_initial(10, rng=np.random.default_rng(0))
+        assert everything == tiny_collection.ids()
+
+    def test_pooled_train_concatenates(self, tiny_collection):
+        pooled = tiny_collection.pooled_train([1, 2])
+        expected = len(tiny_collection.get(1).train) + len(tiny_collection.get(2).train)
+        assert len(pooled) == expected
+        assert len(tiny_collection.pooled_test()) == sum(
+            len(tiny_collection.get(i).test) for i in tiny_collection.ids())
+
+    def test_empty_collection_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            ScenarioCollection(tiny_world, [])
+
+
+class TestScaledSizes:
+    def test_preserves_order_and_bounds(self):
+        sizes = scaled_sizes(DATASET_A_SIZES, scale=1e-4, min_size=50, max_size=300)
+        assert len(sizes) == 18
+        assert all(50 <= s <= 300 for s in sizes)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            scaled_sizes(DATASET_A_SIZES, scale=0.0, min_size=10, max_size=100)
+        with pytest.raises(ValueError):
+            scaled_sizes(DATASET_A_SIZES, scale=1e-4, min_size=1, max_size=100)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(1e-5, 1e-2), st.integers(2, 50))
+    def test_size_skew_is_monotone(self, scale, min_size):
+        sizes = scaled_sizes(DATASET_B_SIZES, scale=scale, min_size=min_size, max_size=10_000)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestDatasetReplicas:
+    def test_dataset_a_schema(self):
+        collection = make_dataset_a(scale=5e-5, min_size=30, max_size=60, seq_len=10,
+                                    profile_dim=12, vocab_size=20, seed=1)
+        assert len(collection) == 18
+        first = collection.get(1)
+        assert first.train.profiles.shape[1] == 12
+        assert first.train.sequences.shape[1] == 10
+        # The largest paper scenario stays the largest replica scenario.
+        sizes = collection.sizes()
+        assert sizes[1] == max(sizes.values())
+
+    def test_dataset_b_schema(self):
+        collection = make_dataset_b(scale=3e-4, min_size=30, max_size=80, seq_len=10,
+                                    profile_dim=16, vocab_size=25, seed=2)
+        assert len(collection) == 32
+        assert collection.get(1).train.profiles.shape[1] == 16
+
+    def test_table_sizes_match_paper_counts(self):
+        assert len(DATASET_A_SIZES) == 18
+        assert DATASET_A_SIZES[0] == 1202739 and DATASET_A_SIZES[-1] == 19973
+        assert len(DATASET_B_SIZES) == 32
+        assert DATASET_B_SIZES[0] == 221003

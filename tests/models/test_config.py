@@ -1,0 +1,60 @@
+"""Tests for ModelConfig validation and the heavy/light presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.models.config import ModelConfig, heavy_config, light_config
+
+
+class TestValidation:
+    def test_valid_config(self):
+        config = ModelConfig(profile_dim=10, vocab_size=20, max_seq_len=16)
+        assert config.encoder_type == "lstm"
+
+    def test_unknown_encoder(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(profile_dim=10, vocab_size=20, max_seq_len=16, encoder_type="gru")
+
+    def test_embed_dim_head_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(profile_dim=10, vocab_size=20, max_seq_len=16, embed_dim=15, num_heads=2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(profile_dim=0, vocab_size=20, max_seq_len=16)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(profile_dim=4, vocab_size=0, max_seq_len=16)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(profile_dim=4, vocab_size=10, max_seq_len=16, num_encoder_layers=0)
+
+    def test_profile_only_config_skips_sequence_checks(self):
+        config = ModelConfig(profile_dim=4, vocab_size=1, max_seq_len=1, encoder_type="none",
+                             embed_dim=15, num_heads=2)
+        assert config.encoder_type == "none"
+
+
+class TestPresetsAndOverrides:
+    def test_heavy_and_light_depths(self):
+        heavy = heavy_config(profile_dim=10, vocab_size=20, max_seq_len=16)
+        light = light_config(profile_dim=10, vocab_size=20, max_seq_len=16)
+        assert heavy.num_encoder_layers == 6
+        assert light.num_encoder_layers == 3
+
+    def test_presets_accept_overrides(self):
+        heavy = heavy_config(profile_dim=10, vocab_size=20, max_seq_len=16,
+                             encoder_type="bert", embed_dim=32)
+        assert heavy.encoder_type == "bert" and heavy.embed_dim == 32
+
+    def test_with_overrides_returns_new_object(self):
+        config = ModelConfig(profile_dim=10, vocab_size=20, max_seq_len=16)
+        other = config.with_overrides(num_encoder_layers=3)
+        assert config.num_encoder_layers == 6
+        assert other.num_encoder_layers == 3
+
+    def test_dict_roundtrip(self):
+        config = ModelConfig(profile_dim=10, vocab_size=20, max_seq_len=16,
+                             profile_hidden=(64, 32), head_hidden=(8,))
+        restored = ModelConfig.from_dict(config.to_dict())
+        assert restored == config

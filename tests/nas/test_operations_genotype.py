@@ -1,0 +1,155 @@
+"""Tests for NAS candidate operations, genotypes and the search space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SearchSpaceError
+from repro.nas.genotype import Genotype, LayerGene, chain_genotype
+from repro.nas.operations import (
+    DEFAULT_CANDIDATES,
+    available_operations,
+    build_operation,
+    operation_flops,
+    validate_candidates,
+)
+from repro.nas.search_space import SequenceSearchSpace
+from repro.nn.tensor import Tensor
+
+
+class TestOperations:
+    @pytest.mark.parametrize("name", DEFAULT_CANDIDATES)
+    def test_every_candidate_preserves_shape(self, name):
+        op = build_operation(name, channels=8, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 6, 8)))
+        out = op(x, mask=np.ones((2, 6)))
+        assert out.shape == (2, 6, 8)
+
+    @pytest.mark.parametrize("name", DEFAULT_CANDIDATES)
+    def test_flops_positive(self, name):
+        assert operation_flops(name, seq_len=16, channels=8) > 0
+
+    def test_flops_ordering(self):
+        cheap = operation_flops("avg_pool_3", 16, 8)
+        conv = operation_flops("std_conv_3", 16, 8)
+        lstm = operation_flops("lstm", 16, 8)
+        assert cheap < conv < lstm
+
+    def test_conv_flops_grow_with_kernel(self):
+        assert operation_flops("std_conv_7", 16, 8) > operation_flops("std_conv_1", 16, 8)
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(SearchSpaceError):
+            build_operation("super_conv", 8)
+        with pytest.raises(SearchSpaceError):
+            operation_flops("super_conv", 16, 8)
+        with pytest.raises(SearchSpaceError):
+            validate_candidates(["std_conv_3", "nope"])
+
+    def test_available_operations_superset_of_defaults(self):
+        assert set(DEFAULT_CANDIDATES) <= set(available_operations())
+
+
+class TestGenotype:
+    def test_chain_genotype_structure(self):
+        genotype = chain_genotype(["std_conv_3", "lstm", "self_att"])
+        assert genotype.num_layers == 3
+        assert genotype.layers[2].input_index == 2
+
+    def test_validation_rejects_forward_references(self):
+        with pytest.raises(SearchSpaceError):
+            Genotype(layers=(LayerGene(1, "std_conv_3"),))
+        with pytest.raises(SearchSpaceError):
+            Genotype(layers=(LayerGene(0, "std_conv_3", residual_indices=(1,)),))
+        with pytest.raises(SearchSpaceError):
+            Genotype(layers=(LayerGene(0, "std_conv_3"),
+                             LayerGene(0, "lstm", residual_indices=(0, 0))))
+
+    def test_json_roundtrip(self, tmp_path):
+        genotype = Genotype(layers=(
+            LayerGene(0, "std_conv_3"),
+            LayerGene(1, "self_att", residual_indices=(0,)),
+        ))
+        restored = Genotype.from_json(genotype.to_json())
+        assert restored == genotype
+        path = genotype.save(tmp_path / "arch.json")
+        assert Genotype.load(path) == genotype
+
+    def test_flops_includes_residuals_and_pooling(self):
+        plain = chain_genotype(["std_conv_3", "std_conv_3"])
+        with_residual = Genotype(layers=(
+            LayerGene(0, "std_conv_3"),
+            LayerGene(1, "std_conv_3", residual_indices=(0,)),
+        ))
+        assert with_residual.flops(16, 8) > plain.flops(16, 8)
+
+    def test_describe_mentions_every_layer(self):
+        genotype = chain_genotype(["std_conv_3", "max_pool_3"])
+        text = genotype.describe()
+        assert "std_conv_3" in text and "max_pool_3" in text and "attentive sum" in text
+
+    def test_num_trainable_ops(self):
+        genotype = chain_genotype(["std_conv_3", "max_pool_3", "avg_pool_3", "lstm"])
+        assert genotype.num_trainable_ops() == 2
+
+
+class TestSearchSpace:
+    def test_random_genotypes_are_valid(self):
+        space = SequenceSearchSpace(num_layers=4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            genotype = space.random_genotype(rng)
+            assert genotype.num_layers == 4  # Genotype validates wiring on construction
+
+    def test_mutation_preserves_validity_and_depth(self):
+        space = SequenceSearchSpace(num_layers=3)
+        rng = np.random.default_rng(1)
+        genotype = space.random_genotype(rng)
+        for _ in range(10):
+            genotype = space.mutate(genotype, rng, mutation_rate=0.8)
+            assert genotype.num_layers == 3
+
+    def test_crossover_mixes_parents(self):
+        space = SequenceSearchSpace(num_layers=4, residual_probability=0.0)
+        rng = np.random.default_rng(2)
+        a, b = space.random_genotype(rng), space.random_genotype(rng)
+        child = space.crossover(a, b, rng)
+        for i, gene in enumerate(child.layers):
+            assert gene in (a.layers[i], b.layers[i])
+
+    def test_depth_mismatch_raises(self):
+        space = SequenceSearchSpace(num_layers=3)
+        wrong = SequenceSearchSpace(num_layers=2).random_genotype(np.random.default_rng(0))
+        with pytest.raises(SearchSpaceError):
+            space.mutate(wrong)
+
+    def test_space_size_and_input_choices(self):
+        space = SequenceSearchSpace(num_layers=2, candidates=["std_conv_3", "lstm"])
+        assert space.num_input_choices(1) == 1
+        assert space.num_input_choices(2) == 2
+        # layer1: 1 input * 2 ops * 2 residual combos; layer2: 2 * 2 * 4
+        assert space.size() == (1 * 2 * 2) * (2 * 2 * 4)
+
+    def test_min_flops_genotype_is_cheapest_chain(self):
+        space = SequenceSearchSpace(num_layers=2)
+        cheapest = space.min_flops_genotype(seq_len=16, channels=8)
+        random_one = space.random_genotype(np.random.default_rng(0))
+        assert cheapest.flops(16, 8) <= random_one.flops(16, 8)
+
+    def test_invalid_construction(self):
+        with pytest.raises(SearchSpaceError):
+            SequenceSearchSpace(num_layers=0)
+        with pytest.raises(SearchSpaceError):
+            SequenceSearchSpace(num_layers=2, candidates=["bogus"])
+        with pytest.raises(SearchSpaceError):
+            SequenceSearchSpace(num_layers=2, residual_probability=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 10_000))
+    def test_random_genotype_roundtrips_through_json(self, num_layers, seed):
+        space = SequenceSearchSpace(num_layers=num_layers)
+        genotype = space.random_genotype(np.random.default_rng(seed))
+        assert Genotype.from_json(genotype.to_json()) == genotype

@@ -1,0 +1,167 @@
+"""Tests for the Gumbel-softmax supernet, budget-constrained derivation and the searches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetExceededError
+from repro.models.config import ModelConfig
+from repro.nas.evolutionary import EvolutionConfig, EvolutionaryNAS
+from repro.nas.operations import operation_flops
+from repro.nas.search import BudgetLimitedNAS, NASConfig, SupernetLightModel
+from repro.nas.search_space import SequenceSearchSpace
+from repro.nas.supernet import SequenceSuperNet, gumbel_softmax_probs
+from repro.nn.data import ArrayDataset, train_test_split
+from repro.nn.tensor import Tensor
+
+CANDIDATES = ["std_conv_1", "std_conv_3", "avg_pool_3", "self_att"]
+
+
+@pytest.fixture
+def supernet():
+    return SequenceSuperNet(num_layers=2, channels=8, candidates=CANDIDATES,
+                            rng=np.random.default_rng(0))
+
+
+class TestGumbel:
+    def test_probs_sum_to_one_and_backprop(self):
+        logits = Tensor(np.array([0.5, -0.5, 0.0]), requires_grad=True)
+        probs = gumbel_softmax_probs(logits, tau=1.0, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(probs.numpy().sum(), 1.0, atol=1e-10)
+        probs.sum().backward()
+        assert logits.grad is not None
+
+    def test_low_temperature_sharpens(self):
+        logits = Tensor(np.array([2.0, 0.0, -2.0]))
+        sharp = gumbel_softmax_probs(logits, tau=0.1, rng=np.random.default_rng(0), add_noise=False)
+        soft = gumbel_softmax_probs(logits, tau=5.0, rng=np.random.default_rng(0), add_noise=False)
+        assert sharp.numpy().max() > soft.numpy().max()
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            gumbel_softmax_probs(Tensor(np.zeros(3)), tau=0.0, rng=np.random.default_rng(0))
+
+
+class TestSuperNet:
+    def test_forward_shape(self, supernet):
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 6, 8)))
+        out = supernet(x, mask=np.ones((4, 6)), tau=1.0)
+        assert out.shape == (4, 8)
+
+    def test_parameter_partition(self, supernet):
+        arch = supernet.architecture_parameters()
+        weights = supernet.weight_parameters()
+        assert len(arch) > 0 and len(weights) > 0
+        arch_ids = {id(p) for p in arch}
+        assert all(id(p) not in arch_ids for p in weights)
+        assert len(arch) + len(weights) == len(supernet.parameters())
+
+    def test_architecture_gradients_flow(self, supernet):
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 6, 8)))
+        out = supernet(x, tau=1.0)
+        out.sum().backward()
+        grads = [p.grad for p in supernet.architecture_parameters() if p.grad is not None]
+        assert grads, "at least some architecture logits must receive gradients"
+
+    def test_expected_flops_between_bounds(self, supernet):
+        expected = supernet.expected_flops(seq_len=16).item()
+        min_op = min(operation_flops(c, 16, 8) for c in CANDIDATES)
+        max_total = sum(block.max_flops(16) for block in supernet.blocks)
+        assert 2 * min_op <= expected <= max_total
+        normalized = supernet.normalized_expected_flops(16).item()
+        assert 0.0 < normalized <= 1.0
+
+    def test_derive_without_budget_picks_argmax(self, supernet):
+        genotype = supernet.derive(seq_len=16, flops_budget=None)
+        assert genotype.num_layers == 2
+        for gene, block in zip(genotype.layers, supernet.blocks):
+            probs = block.mixed_op.probabilities()
+            assert gene.operation == CANDIDATES[int(np.argmax(probs))]
+
+    def test_derive_respects_budget(self, supernet):
+        # Force an expensive preference, then require a tight budget.
+        for block in supernet.blocks:
+            block.mixed_op.alpha_ops.data = np.array([0.0, 0.0, 0.0, 5.0])  # prefer self_att
+        cheap_budget = 2 * operation_flops("std_conv_1", 16, 8) + 4 * 16 * 8 + 2 * 16 * 8
+        genotype = supernet.derive(seq_len=16, flops_budget=cheap_budget * 1.5)
+        assert genotype.flops(16, 8) <= cheap_budget * 1.5
+
+    def test_derive_impossible_budget_raises(self, supernet):
+        with pytest.raises(BudgetExceededError):
+            supernet.derive(seq_len=16, flops_budget=1.0)
+
+
+class TestBudgetLimitedNAS:
+    def _model_config(self):
+        return ModelConfig(profile_dim=6, vocab_size=12, max_seq_len=8, embed_dim=8,
+                           profile_hidden=(8,), head_hidden=(8,), encoder_type="nas",
+                           num_encoder_layers=2)
+
+    def _data(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        dataset = ArrayDataset(rng.normal(size=(n, 6)), rng.integers(0, 12, size=(n, 8)),
+                               np.ones((n, 8)), rng.integers(0, 2, size=n).astype(float))
+        return train_test_split(dataset, test_fraction=0.3, rng=rng)
+
+    def test_supernet_light_model_forward(self):
+        config = self._model_config()
+        model = SupernetLightModel(config, NASConfig(num_layers=2, candidates=tuple(CANDIDATES)),
+                                   rng=np.random.default_rng(0))
+        train, _ = self._data()
+        logits = model(train.as_batch(), tau=1.0)
+        assert logits.shape == (len(train),)
+        assert len(model.architecture_parameters()) > 0
+        assert len(model.weight_parameters()) > 0
+
+    def test_search_returns_genotype_under_budget(self):
+        train, val = self._data()
+        nas = BudgetLimitedNAS(self._model_config(),
+                               NASConfig(num_layers=2, candidates=tuple(CANDIDATES), epochs=1,
+                                         batch_size=32, max_batches_per_epoch=2),
+                               rng=np.random.default_rng(0))
+        budget = 3 * operation_flops("std_conv_3", 8, 8) + 6 * 8 * 8
+        result = nas.search(train, val, flops_budget=budget)
+        assert result.genotype.flops(8, 8) <= budget
+        assert result.flops == result.genotype.flops(8, 8)
+        assert len(result.search_losses) > 0 and len(result.arch_losses) > 0
+
+    def test_search_with_teacher_runs(self):
+        from repro.models.factory import build_model
+        train, val = self._data()
+        teacher = build_model(self._model_config().with_overrides(encoder_type="lstm"), seed=0)
+        nas = BudgetLimitedNAS(self._model_config(),
+                               NASConfig(num_layers=2, candidates=tuple(CANDIDATES), epochs=1,
+                                         batch_size=32, max_batches_per_epoch=2),
+                               rng=np.random.default_rng(0))
+        result = nas.search(train, val, teacher=teacher, flops_budget=None)
+        assert result.genotype.num_layers == 2
+
+
+class TestEvolutionaryNAS:
+    def test_finds_high_fitness_architecture(self):
+        space = SequenceSearchSpace(num_layers=3, candidates=CANDIDATES)
+
+        def fitness(genotype):
+            # Reward self-attention layers: the search should discover them.
+            return sum(1.0 for gene in genotype.layers if gene.operation == "self_att")
+
+        search = EvolutionaryNAS(space, fitness,
+                                 EvolutionConfig(population_size=6, generations=3,
+                                                 seq_len=16, channels=8),
+                                 rng=np.random.default_rng(0))
+        result = search.search()
+        assert result.best_fitness >= 2.0
+        assert len(result.history) == 6 + 3 * 6
+
+    def test_budget_constraint_respected(self):
+        space = SequenceSearchSpace(num_layers=2, candidates=CANDIDATES)
+        budget = 2 * operation_flops("std_conv_3", 16, 8) + 5 * 16 * 8
+        search = EvolutionaryNAS(space, lambda g: 1.0,
+                                 EvolutionConfig(population_size=4, generations=2,
+                                                 flops_budget=budget, seq_len=16, channels=8),
+                                 rng=np.random.default_rng(1))
+        result = search.search()
+        for genotype, _ in result.history:
+            assert genotype.flops(16, 8) <= budget

@@ -1,0 +1,125 @@
+"""Tests for datasets / dataloaders / splits and FLOPs accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.data import ArrayDataset, DataLoader, support_query_split, train_test_split
+from repro.nn.flops import InputSpec, estimate_module_flops, format_flops
+from repro.models.behavior_encoders import BertBehaviorEncoder, LSTMBehaviorEncoder
+
+
+def make_dataset(n=30, profile_dim=4, seq_len=6, vocab=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(
+        rng.normal(size=(n, profile_dim)),
+        rng.integers(0, vocab, size=(n, seq_len)),
+        np.ones((n, seq_len)),
+        rng.integers(0, 2, size=n).astype(float),
+    )
+
+
+class TestArrayDataset:
+    def test_length_and_batch(self):
+        ds = make_dataset(20)
+        assert len(ds) == 20
+        batch = ds.batch([0, 5, 7])
+        assert len(batch) == 3
+        assert batch.profiles.shape == (3, 4)
+
+    def test_default_mask_and_labels(self):
+        rng = np.random.default_rng(0)
+        ds = ArrayDataset(rng.normal(size=(5, 3)), rng.integers(0, 4, size=(5, 6)))
+        assert ds.mask.shape == (5, 6) and ds.mask.min() == 1.0
+        assert ds.labels.shape == (5,)
+
+    def test_mismatched_rows_raise(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(5, 3)), rng.integers(0, 4, size=(4, 6)))
+
+    def test_subset_and_positive_rate(self):
+        ds = make_dataset(40)
+        sub = ds.subset(np.arange(10))
+        assert len(sub) == 10
+        assert 0.0 <= ds.positive_rate <= 1.0
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = make_dataset(25)
+        loader = DataLoader(ds, batch_size=8, shuffle=True, rng=np.random.default_rng(0))
+        total = sum(len(batch) for batch in loader)
+        assert total == 25
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        ds = make_dataset(25)
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(loader) == 3
+        assert sum(len(b) for b in loader) == 24
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(5), batch_size=0)
+
+    def test_shuffle_changes_order(self):
+        ds = make_dataset(32)
+        first = next(iter(DataLoader(ds, batch_size=32, shuffle=True, rng=np.random.default_rng(1))))
+        assert not np.allclose(first.profiles, ds.profiles)
+
+
+class TestSplits:
+    def test_train_test_split_proportions(self):
+        train, test = train_test_split(make_dataset(100), test_fraction=0.2,
+                                       rng=np.random.default_rng(0))
+        assert len(test) == 20 and len(train) == 80
+
+    def test_support_query_split_disjoint_and_complete(self):
+        ds = make_dataset(50)
+        support, query = support_query_split(ds, support_fraction=0.7,
+                                             rng=np.random.default_rng(0))
+        assert len(support) + len(query) == 50
+        assert len(query) >= 1
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2])
+    def test_invalid_fractions(self, fraction):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(10), test_fraction=fraction)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 60), st.floats(0.1, 0.9))
+    def test_split_is_a_partition(self, n, fraction):
+        ds = make_dataset(n)
+        support, query = support_query_split(ds, support_fraction=fraction,
+                                             rng=np.random.default_rng(0))
+        assert len(support) + len(query) == n
+        assert len(support) >= 1 and len(query) >= 1
+
+
+class TestFlops:
+    def test_format(self):
+        assert format_flops(4_780_000) == "4.78M"
+        assert format_flops(1_500) == "1.50K"
+        assert format_flops(2_000_000_000) == "2.00G"
+        assert format_flops(12) == "12"
+
+    def test_estimate_positive_for_encoders(self):
+        rng = np.random.default_rng(0)
+        lstm = LSTMBehaviorEncoder(vocab_size=10, embed_dim=8, num_layers=2, rng=rng)
+        spec = InputSpec(seq_len=16, channels=8)
+        assert estimate_module_flops(lstm, spec) > 0
+
+    def test_heavier_encoder_costs_more(self):
+        rng = np.random.default_rng(0)
+        heavy = LSTMBehaviorEncoder(vocab_size=10, embed_dim=8, num_layers=6, rng=rng)
+        light = LSTMBehaviorEncoder(vocab_size=10, embed_dim=8, num_layers=3, rng=rng)
+        assert heavy.flops(16) > light.flops(16)
+        heavy_bert = BertBehaviorEncoder(vocab_size=10, embed_dim=8, num_layers=6,
+                                         max_seq_len=16, rng=rng)
+        light_bert = BertBehaviorEncoder(vocab_size=10, embed_dim=8, num_layers=3,
+                                         max_seq_len=16, rng=rng)
+        assert heavy_bert.flops(16) > light_bert.flops(16)

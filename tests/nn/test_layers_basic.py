@@ -1,0 +1,152 @@
+"""Tests for dense / embedding / normalisation / activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.basic import (
+    GELU,
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    PositionalEmbedding,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_output_shape_and_bias(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert not hasattr(layer, "bias")
+        assert layer(Tensor(np.zeros((2, 5)))).numpy().sum() == 0.0
+
+    def test_three_dim_input(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        assert layer(Tensor(rng.normal(size=(2, 5, 4)))).shape == (2, 5, 6)
+
+    def test_flops_formula(self, rng):
+        layer = Linear(10, 20, rng=rng)
+        assert layer.flops(1) == 2 * 10 * 20 + 20
+        assert layer.flops(3) == 3 * (2 * 10 * 20 + 20)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[0, 1, 2], [3, 4, 5]]))
+        assert out.shape == (2, 3, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            emb(np.array([10]))
+        with pytest.raises(ValueError):
+            emb(np.array([-1]))
+
+    def test_gradient_reaches_rows(self, rng):
+        emb = Embedding(6, 3, rng=rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert grad[1].sum() != 0 and grad[2].sum() != 0
+        np.testing.assert_allclose(grad[0], 0)
+
+
+class TestPositionalEmbedding:
+    def test_adds_positions(self, rng):
+        pos = PositionalEmbedding(8, 4, rng=rng)
+        x = Tensor(np.zeros((2, 5, 4)))
+        out = pos(x)
+        np.testing.assert_allclose(out.numpy()[0], out.numpy()[1])
+
+    def test_too_long_sequence_raises(self, rng):
+        pos = PositionalEmbedding(4, 4, rng=rng)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.zeros((1, 5, 4))))
+
+
+class TestLayerNorm:
+    def test_normalises_last_dim(self, rng):
+        norm = LayerNorm(6)
+        out = norm(Tensor(rng.normal(loc=3.0, scale=2.0, size=(4, 6)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_affect_output(self, rng):
+        norm = LayerNorm(3)
+        norm.gamma.data = np.array([2.0, 2.0, 2.0])
+        norm.beta.data = np.array([1.0, 1.0, 1.0])
+        out = norm(Tensor(rng.normal(size=(2, 3)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_allclose(drop(Tensor(x)).numpy(), x)
+
+    def test_training_mode_zeroes_some(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        out = drop(Tensor(np.ones((20, 20)))).numpy()
+        assert (out == 0).sum() > 0
+        # Inverted dropout keeps the expectation roughly constant.
+        assert 0.7 < out.mean() < 1.3
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("activation,reference", [
+        (ReLU(), lambda x: np.maximum(x, 0)),
+        (Tanh(), np.tanh),
+        (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+        (Identity(), lambda x: x),
+    ])
+    def test_values(self, activation, reference, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(activation(Tensor(x)).numpy(), reference(x), atol=1e-10)
+
+    def test_gelu_between_zero_and_identity_for_positive(self, rng):
+        x = np.abs(rng.normal(size=(10,))) + 0.1
+        out = GELU()(Tensor(x)).numpy()
+        assert np.all(out > 0) and np.all(out <= x + 1e-9)
+
+
+class TestMLP:
+    def test_shapes_and_hidden_layers(self, rng):
+        mlp = MLP([5, 16, 8, 1], rng=rng)
+        assert mlp(Tensor(rng.normal(size=(3, 5)))).shape == (3, 1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MLP([5])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([5, 1], activation="swish")
+
+    def test_final_activation_flag(self, rng):
+        mlp = MLP([5, 4], activation="relu", final_activation=True, rng=rng)
+        out = mlp(Tensor(rng.normal(size=(10, 5)))).numpy()
+        assert np.all(out >= 0)

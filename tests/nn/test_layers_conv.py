@@ -1,0 +1,104 @@
+"""Tests for temporal convolutions and pooling (the NAS candidate ops substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.conv import AvgPool1d, Conv1d, MaxPool1d
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConv1d:
+    @pytest.mark.parametrize("kernel,dilation", [(1, 1), (3, 1), (5, 1), (3, 2), (5, 2)])
+    def test_same_length_output(self, kernel, dilation, rng):
+        conv = Conv1d(4, 6, kernel_size=kernel, dilation=dilation, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 9, 4))))
+        assert out.shape == (2, 9, 6)
+
+    def test_kernel_one_equals_linear(self, rng):
+        conv = Conv1d(3, 5, kernel_size=1, rng=rng)
+        x = rng.normal(size=(2, 7, 3))
+        expected = x @ conv.weight.data + conv.bias.data
+        np.testing.assert_allclose(conv(Tensor(x)).numpy(), expected, atol=1e-10)
+
+    def test_known_convolution_values(self):
+        conv = Conv1d(1, 1, kernel_size=3, bias=False)
+        conv.weight.data = np.ones((3, 1))
+        x = np.arange(5, dtype=float).reshape(1, 5, 1)
+        out = conv(Tensor(x)).numpy().reshape(-1)
+        # SAME padding: output[t] = x[t-1] + x[t] + x[t+1] with zero padding.
+        np.testing.assert_allclose(out, [1, 3, 6, 9, 7])
+
+    def test_weight_gradient_matches_finite_difference(self, rng):
+        conv = Conv1d(2, 3, kernel_size=3, dilation=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 2)))
+        conv(x).sum().backward()
+        eps = 1e-6
+        index = (1, 2)
+        original = conv.weight.data[index]
+        conv.weight.data[index] = original + eps
+        plus = conv(x).sum().item()
+        conv.weight.data[index] = original - eps
+        minus = conv(x).sum().item()
+        conv.weight.data[index] = original
+        np.testing.assert_allclose(conv.weight.grad[index], (plus - minus) / (2 * eps), atol=1e-5)
+
+    def test_input_gradient_flows(self, rng):
+        conv = Conv1d(2, 2, kernel_size=3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 5, 2)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = Conv1d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 5, 2))))
+
+    @pytest.mark.parametrize("bad_kwargs", [{"kernel_size": 0}, {"kernel_size": 3, "dilation": 0}])
+    def test_invalid_configuration(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            Conv1d(2, 2, **bad_kwargs)
+
+    def test_flops_grow_with_kernel(self, rng):
+        small = Conv1d(4, 4, kernel_size=1, rng=rng).flops(16)
+        large = Conv1d(4, 4, kernel_size=7, rng=rng).flops(16)
+        assert large > small > 0
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = np.arange(5, dtype=float).reshape(1, 5, 1)
+        out = AvgPool1d(3)(Tensor(x)).numpy().reshape(-1)
+        np.testing.assert_allclose(out, [1 / 3, 1.0, 2.0, 3.0, 7 / 3])
+
+    def test_max_pool_values(self):
+        x = np.array([3.0, 1.0, 4.0, 1.0, 5.0]).reshape(1, 5, 1)
+        out = MaxPool1d(3)(Tensor(x)).numpy().reshape(-1)
+        np.testing.assert_allclose(out, [3, 4, 4, 5, 5])
+
+    def test_pool_preserves_shape(self, rng):
+        x = Tensor(rng.normal(size=(3, 8, 5)))
+        assert AvgPool1d(3)(x).shape == (3, 8, 5)
+        assert MaxPool1d(3)(x).shape == (3, 8, 5)
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x = Tensor(np.array([[[1.0], [5.0], [2.0]]]), requires_grad=True)
+        MaxPool1d(3)(x).sum().backward()
+        # The middle element is the max of every window that contains it.
+        assert x.grad[0, 1, 0] >= 2.0
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            AvgPool1d(0)
+        with pytest.raises(ValueError):
+            MaxPool1d(0)
+
+    def test_pool_flops_positive(self):
+        assert AvgPool1d(3).flops(16, 8) > 0
+        assert MaxPool1d(3).flops(16, 8) > 0

@@ -1,0 +1,137 @@
+"""Tests for loss functions (Eq. 5 included) and optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.basic import MLP
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    distillation_loss,
+    mse_loss,
+    soft_binary_cross_entropy,
+)
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def reference_bce(logits: np.ndarray, targets: np.ndarray) -> float:
+    probs = 1 / (1 + np.exp(-logits))
+    probs = np.clip(probs, 1e-12, 1 - 1e-12)
+    return float(-(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean())
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=10)
+        targets = rng.integers(0, 2, size=10).astype(float)
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        np.testing.assert_allclose(loss, reference_bce(logits, targets), atol=1e-8)
+
+    def test_stable_for_large_logits(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0])).item()
+        assert np.isfinite(loss) and loss < 1e-6
+
+    def test_sample_weight(self):
+        logits = Tensor(np.array([0.0, 0.0]))
+        targets = np.array([1.0, 1.0])
+        weighted = binary_cross_entropy_with_logits(logits, targets,
+                                                    sample_weight=np.array([2.0, 0.0])).item()
+        unweighted = binary_cross_entropy_with_logits(logits, targets).item()
+        np.testing.assert_allclose(weighted, unweighted)
+
+    def test_gradient_sign(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        binary_cross_entropy_with_logits(logits, np.array([1.0])).backward()
+        assert logits.grad[0] < 0  # pushing the logit up reduces the loss
+
+    def test_soft_targets(self):
+        logits = Tensor(np.zeros(4))
+        loss = soft_binary_cross_entropy(logits, Tensor(np.full(4, 0.5))).item()
+        np.testing.assert_allclose(loss, np.log(2), atol=1e-8)
+
+
+class TestOtherLosses:
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert cross_entropy(logits, np.array([0, 1])).item() < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((3, 4)))
+        np.testing.assert_allclose(cross_entropy(logits, np.array([0, 1, 2])).item(),
+                                   np.log(4), atol=1e-8)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(mse_loss(pred, np.array([0.0, 0.0])).item(), 2.5)
+
+    def test_distillation_combines_hard_and_soft(self):
+        student = Tensor(np.array([0.0, 0.0]))
+        hard = np.array([1.0, 0.0])
+        teacher = np.array([5.0, -5.0])
+        base = binary_cross_entropy_with_logits(student, hard).item()
+        combined = distillation_loss(student, hard, teacher, delta=1.0).item()
+        assert combined > base  # the soft term adds a positive penalty at logits 0
+        only_hard = distillation_loss(student, hard, teacher, delta=0.0).item()
+        np.testing.assert_allclose(only_hard, base, atol=1e-10)
+
+    def test_distillation_accepts_tensor_teacher(self):
+        student = Tensor(np.zeros(3))
+        teacher = Tensor(np.array([1.0, -1.0, 0.0]))
+        value = distillation_loss(student, np.array([1.0, 0.0, 1.0]), teacher).item()
+        assert np.isfinite(value)
+
+
+class TestOptimizers:
+    def _make_problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        model = MLP([4, 8, 1], rng=rng)
+        x = Tensor(rng.normal(size=(64, 4)))
+        y = (x.data[:, 0] - x.data[:, 1] > 0).astype(float)
+        return model, x, y
+
+    def _loss(self, model, x, y):
+        return binary_cross_entropy_with_logits(model(x).reshape(len(y)), y)
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.5}),
+        (SGD, {"lr": 0.3, "momentum": 0.9}),
+        (Adam, {"lr": 0.05}),
+        (Adam, {"lr": 0.05, "weight_decay": 1e-4}),
+    ])
+    def test_loss_decreases(self, optimizer_cls, kwargs):
+        model, x, y = self._make_problem()
+        optimizer = optimizer_cls(model.parameters(), **kwargs)
+        initial = self._loss(model, x, y).item()
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = self._loss(model, x, y)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.6 * initial
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        model, _, _ = self._make_problem()
+        with pytest.raises(ValueError):
+            Adam(model.parameters(), lr=0.0)
+
+    def test_clip_grad_norm(self):
+        model, x, y = self._make_problem()
+        self._loss(model, x, y).backward()
+        norm_before = clip_grad_norm(model.parameters(), max_norm=1e-4)
+        assert norm_before > 1e-4
+        norm_after = float(np.sqrt(sum(float((p.grad ** 2).sum())
+                                       for p in model.parameters() if p.grad is not None)))
+        assert norm_after <= 1.1e-4
+
+    def test_clip_grad_norm_no_grads(self):
+        model, _, _ = self._make_problem()
+        assert clip_grad_norm(model.parameters(), 1.0) == 0.0

@@ -1,0 +1,123 @@
+"""Tests for Module / Parameter registration, state dicts and cloning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.basic import MLP, Linear
+from repro.nn.module import Module, ModuleList, Parameter, Sequential, clone_module
+from repro.nn.tensor import Tensor
+
+
+class ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.array([2.0]))
+        self.register_buffer("running_mean", np.zeros(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        module = ToyModule()
+        names = [name for name, _ in module.named_parameters()]
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_num_parameters(self):
+        module = ToyModule()
+        assert module.num_parameters() == 3 * 2 + 2 + 1
+
+    def test_named_modules(self):
+        module = ToyModule()
+        names = dict(module.named_modules())
+        assert "" in names and "linear" in names
+
+    def test_module_list_registers_children(self):
+        holder = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(holder) == 2
+        assert len(holder.parameters()) == 4
+        with pytest.raises(RuntimeError):
+            holder(Tensor(np.zeros((1, 2))))
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        seq.eval()
+        assert all(not child.training for child in seq)
+        seq.train()
+        assert all(child.training for child in seq)
+
+    def test_zero_grad_clears(self):
+        module = ToyModule()
+        out = module(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert module.linear.weight.grad is not None
+        module.zero_grad()
+        assert module.linear.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        module = ToyModule()
+        state = module.state_dict()
+        assert "running_mean" in state
+        other = ToyModule()
+        other.scale.data = np.array([9.0])
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.scale.data, [2.0])
+        np.testing.assert_allclose(other.linear.weight.data, module.linear.weight.data)
+
+    def test_missing_key_raises(self):
+        module = ToyModule()
+        state = module.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            ToyModule().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        module = ToyModule()
+        state = module.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            ToyModule().load_state_dict(state)
+
+    def test_non_strict_allows_missing(self):
+        module = ToyModule()
+        ToyModule().load_state_dict({"scale": np.array([1.0])}, strict=False)
+        assert module is not None
+
+
+class TestCloneAndSequential:
+    def test_clone_is_independent(self):
+        module = ToyModule()
+        clone = clone_module(module)
+        clone.scale.data = np.array([100.0])
+        np.testing.assert_allclose(module.scale.data, [2.0])
+        # Cloned outputs match before divergence of parameters.
+        x = Tensor(np.ones((1, 3)))
+        module2 = clone_module(module)
+        np.testing.assert_allclose(module(x).numpy(), module2(x).numpy())
+
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+    def test_sequential_append(self):
+        seq = Sequential(Linear(2, 2))
+        seq.append(Linear(2, 3))
+        assert seq(Tensor(np.zeros((1, 2)))).shape == (1, 3)
+
+    def test_mlp_flops_positive(self):
+        mlp = MLP([4, 8, 1])
+        assert mlp.flops(1) > 0

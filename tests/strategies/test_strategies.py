@@ -1,0 +1,143 @@
+"""Tests for the Sec. V strategy runner, result containers and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.tables import format_average_row, format_comparison_table, format_table
+from repro.meta.distillation import DistillationConfig
+from repro.meta.finetune import FineTuneConfig
+from repro.meta.agnostic import MetaUpdateConfig
+from repro.nas.search import NASConfig
+from repro.strategies.config import StrategyRunConfig, derive_model_config
+from repro.strategies.results import ComparisonResult, StrategyResult
+from repro.strategies.runner import StrategyRunner
+from repro.training.trainer import TrainingConfig
+
+
+@pytest.fixture
+def fast_config():
+    return StrategyRunConfig(
+        encoder_type="lstm",
+        embed_dim=8,
+        heavy_layers=2,
+        light_layers=1,
+        n_initial=2,
+        pretrain=TrainingConfig(epochs=1, batch_size=32, learning_rate=0.01),
+        scenario_train=TrainingConfig(epochs=1, batch_size=32, learning_rate=0.01),
+        fine_tune=FineTuneConfig(inner_lr=0.005, epochs=1, batch_size=32),
+        meta=MetaUpdateConfig(outer_lr=0.02),
+        nas=NASConfig(num_layers=2, epochs=1, batch_size=32, max_batches_per_epoch=2,
+                      candidates=("std_conv_1", "std_conv_3", "avg_pool_3", "self_att")),
+        distillation=DistillationConfig(epochs=1, batch_size=32),
+        seed=0,
+    )
+
+
+class TestConfig:
+    def test_invalid_encoder(self):
+        with pytest.raises(ConfigurationError):
+            StrategyRunConfig(encoder_type="gru")
+
+    def test_heavy_must_be_at_least_light(self):
+        with pytest.raises(ConfigurationError):
+            StrategyRunConfig(heavy_layers=2, light_layers=3)
+
+    def test_derive_model_config_uses_dataset_schema(self, tiny_collection, fast_config):
+        config = derive_model_config(tiny_collection, fast_config, num_layers=2)
+        world = tiny_collection.world.config
+        assert config.profile_dim == world.profile_dim
+        assert config.vocab_size == world.vocab_size
+        assert config.max_seq_len == world.seq_len
+        assert config.num_encoder_layers == 2
+
+
+class TestStrategyResult:
+    def test_averages(self):
+        result = StrategyResult("meh", "lstm", per_scenario_auc={1: 0.7, 2: 0.8},
+                                per_scenario_flops={1: 100, 2: 200},
+                                per_scenario_latency_ms={1: 2.0})
+        assert result.average_auc == pytest.approx(0.75)
+        assert result.average_flops == pytest.approx(150)
+        assert result.average_latency_ms == pytest.approx(2.0)
+        assert result.auc(1) == 0.7
+
+    def test_comparison_bookkeeping(self):
+        comparison = ComparisonResult("A", "lstm")
+        comparison.add(StrategyResult("sinh", "lstm", per_scenario_auc={1: 0.6, 2: 0.9}))
+        comparison.add(StrategyResult("meh", "lstm", per_scenario_auc={1: 0.7, 2: 0.8}))
+        assert comparison.scenario_ids() == [1, 2]
+        winners = comparison.best_strategy_per_scenario()
+        assert winners[1] == "meh" and winners[2] == "sinh"
+        assert comparison.average_row()["meh"] == pytest.approx(0.75)
+
+
+class TestRunner:
+    def test_run_all_strategies_structure(self, tiny_collection, fast_config):
+        runner = StrategyRunner(tiny_collection, fast_config, dataset_name="tiny")
+        comparison = runner.run(["basic", "sinh", "meh", "mel", "ours"],
+                                scenario_ids=[1, 2, 3], measure_efficiency=True)
+        assert set(comparison.strategies()) == {"basic", "sinh", "meh", "mel", "ours"}
+        for result in comparison.results.values():
+            assert set(result.per_scenario_auc) == {1, 2, 3}
+            assert all(0.0 <= v <= 1.0 for v in result.per_scenario_auc.values())
+            assert all(v > 0 for v in result.per_scenario_flops.values())
+            assert all(v > 0 for v in result.per_scenario_latency_ms.values())
+        # Efficiency ordering: the heavy MeH model costs more FLOPs than both light models.
+        assert comparison.results["meh"].average_flops > comparison.results["mel"].average_flops
+        assert comparison.results["meh"].average_flops > comparison.results["ours"].average_flops
+        # The searched model respects the pre-defined light model's budget on the
+        # behaviour-encoder side, so it cannot exceed MeL by more than the shared parts.
+        assert comparison.results["ours"].average_flops <= comparison.results["mel"].average_flops * 1.05
+
+    def test_scenario_order_puts_initial_first(self, tiny_collection, fast_config):
+        runner = StrategyRunner(tiny_collection, fast_config)
+        order = runner.scenario_order()
+        assert set(order[:len(runner.initial_ids)]) == set(runner.initial_ids)
+        assert sorted(order) == tiny_collection.ids()
+
+    def test_explicit_initial_ids(self, tiny_collection, fast_config):
+        config = StrategyRunConfig(
+            encoder_type="lstm", embed_dim=8, heavy_layers=2, light_layers=1,
+            initial_ids=(2, 3),
+            pretrain=fast_config.pretrain, scenario_train=fast_config.scenario_train,
+            fine_tune=fast_config.fine_tune, meta=fast_config.meta,
+            nas=fast_config.nas, distillation=fast_config.distillation,
+        )
+        runner = StrategyRunner(tiny_collection, config)
+        assert runner.initial_ids == [2, 3]
+
+    def test_unknown_strategy_rejected(self, tiny_collection, fast_config):
+        runner = StrategyRunner(tiny_collection, fast_config)
+        with pytest.raises(ConfigurationError):
+            runner.run(["sota"])
+
+    def test_bert_family_runs(self, tiny_collection, fast_config):
+        config = StrategyRunConfig(
+            encoder_type="bert", embed_dim=8, heavy_layers=1, light_layers=1, n_initial=2,
+            pretrain=fast_config.pretrain, scenario_train=fast_config.scenario_train,
+            fine_tune=fast_config.fine_tune, meta=fast_config.meta,
+            nas=fast_config.nas, distillation=fast_config.distillation, seed=1,
+        )
+        runner = StrategyRunner(tiny_collection, config)
+        comparison = runner.run(["sinh", "meh"], scenario_ids=[1, 2])
+        assert comparison.encoder_type == "bert"
+        assert set(comparison.results) == {"sinh", "meh"}
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}], title="demo")
+        assert "demo" in text and "0.500" in text and "a" in text
+
+    def test_format_table_empty(self):
+        assert format_table([], title="nothing") == "nothing"
+
+    def test_format_comparison_table_has_average_row(self):
+        comparison = ComparisonResult("A", "lstm")
+        comparison.add(StrategyResult("sinh", "lstm", per_scenario_auc={1: 0.6}))
+        text = format_comparison_table(comparison, title="Table III")
+        assert "AVG" in text and "Table III" in text
+        assert "sinh" in format_average_row(comparison)

@@ -1,0 +1,161 @@
+"""Tests for the feature factory, data preparation and scenario registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureNotFoundError, ScenarioNotFoundError
+from repro.system.data_preparation import DataPreparation, EqualWidthDiscretizer, StandardNormalizer
+from repro.system.feature_factory import FeatureFactory, FeatureGroup, FeatureSpec
+from repro.system.scenario import ScenarioRegistry, ScenarioStatus
+
+
+class TestFeatureFactory:
+    def _factory_with_users(self):
+        factory = FeatureFactory()
+        factory.register("profile_basic", FeatureGroup.PROFILE, dimension=4)
+        factory.register("behavior_events", FeatureGroup.BEHAVIOR, dimension=6)
+        rng = np.random.default_rng(0)
+        factory.ingest("profile_basic", {f"u{i}": rng.normal(size=4) for i in range(5)})
+        factory.ingest("behavior_events", {f"u{i}": rng.integers(0, 9, size=6) for i in range(5)})
+        return factory
+
+    def test_register_and_lookup(self):
+        factory = self._factory_with_users()
+        profiles = factory.lookup("profile_basic", ["u0", "u3"])
+        assert profiles.shape == (2, 4)
+        assert factory.has_user("profile_basic", "u0")
+        assert not factory.has_user("profile_basic", "stranger")
+
+    def test_default_frequencies_follow_groups(self):
+        factory = FeatureFactory()
+        profile = factory.register("p", FeatureGroup.PROFILE, dimension=3)
+        behavior = factory.register("b", FeatureGroup.BEHAVIOR, dimension=3)
+        assert profile.update_frequency_hours > behavior.update_frequency_hours
+
+    def test_missing_feature_and_user_raise(self):
+        factory = self._factory_with_users()
+        with pytest.raises(FeatureNotFoundError):
+            factory.lookup("unknown", ["u0"])
+        with pytest.raises(FeatureNotFoundError):
+            factory.lookup("profile_basic", ["nobody"])
+
+    def test_wrong_profile_dimension_rejected(self):
+        factory = FeatureFactory()
+        factory.register("p", FeatureGroup.PROFILE, dimension=3)
+        with pytest.raises(ValueError):
+            factory.ingest("p", {"u0": np.zeros(5)})
+
+    def test_refresh_scheduling_respects_frequencies(self):
+        factory = self._factory_with_users()
+        assert factory.due_for_refresh() == []
+        factory.advance_clock(2.0)  # behaviour (1h) is due, profile (24h) is not
+        assert factory.due_for_refresh() == ["behavior_events"]
+        refreshed = factory.run_scheduled_refresh({
+            "behavior_events": lambda: {"u0": np.arange(6)},
+        })
+        assert refreshed == ["behavior_events"]
+        assert factory.due_for_refresh() == []
+        np.testing.assert_allclose(factory.lookup("behavior_events", ["u0"])[0], np.arange(6))
+        factory.advance_clock(30.0)
+        assert set(factory.due_for_refresh()) == {"profile_basic", "behavior_events"}
+
+    def test_clock_cannot_go_backwards(self):
+        factory = FeatureFactory()
+        with pytest.raises(ValueError):
+            factory.advance_clock(-1.0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            FeatureSpec("x", "unknown_group", 3, 1.0)
+        with pytest.raises(ValueError):
+            FeatureSpec("x", FeatureGroup.PROFILE, 0, 1.0)
+        with pytest.raises(ValueError):
+            FeatureSpec("x", FeatureGroup.PROFILE, 3, 0.0)
+
+
+class TestDataPreparation:
+    def test_normalizer_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        normalizer = StandardNormalizer().fit(data)
+        transformed = normalizer.transform(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-6)
+
+    def test_normalizer_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardNormalizer().transform(np.zeros((2, 2)))
+
+    def test_discretizer_bins_selected_columns(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 3))
+        disc = EqualWidthDiscretizer(n_bins=4).fit(data, columns=[1])
+        out = disc.transform(data)
+        assert set(np.unique(out[:, 1])) <= {0.0, 1.0, 2.0, 3.0}
+        np.testing.assert_allclose(out[:, 0], data[:, 0])
+
+    def test_discretizer_invalid_bins(self):
+        with pytest.raises(ValueError):
+            EqualWidthDiscretizer(n_bins=1)
+
+    def test_join_builds_dataset_from_factory(self):
+        factory = FeatureFactory()
+        factory.register("profile", FeatureGroup.PROFILE, dimension=3)
+        factory.register("events", FeatureGroup.BEHAVIOR, dimension=5)
+        rng = np.random.default_rng(1)
+        users = [f"u{i}" for i in range(6)]
+        factory.ingest("profile", {u: rng.normal(size=3) for u in users})
+        factory.ingest("events", {u: rng.integers(1, 8, size=rng.integers(2, 5)) for u in users})
+        prep = DataPreparation(test_fraction=0.3, rng=np.random.default_rng(0))
+        dataset = prep.join(factory, "profile", "events", users, [0, 1, 0, 1, 1, 0], max_seq_len=5)
+        assert len(dataset) == 6
+        assert dataset.sequences.shape == (6, 5)
+        assert np.all(dataset.mask.sum(axis=1) >= 2)
+
+    def test_join_length_mismatch(self):
+        factory = FeatureFactory()
+        factory.register("profile", FeatureGroup.PROFILE, dimension=3)
+        factory.register("events", FeatureGroup.BEHAVIOR, dimension=5)
+        prep = DataPreparation()
+        with pytest.raises(ValueError):
+            prep.join(factory, "profile", "events", ["u0"], [0, 1], max_seq_len=5)
+
+    def test_prepare_normalises_and_splits(self, tiny_dataset):
+        prep = DataPreparation(test_fraction=0.25, rng=np.random.default_rng(0))
+        prepared = prep.prepare(tiny_dataset)
+        assert len(prepared.train) + len(prepared.test) == len(tiny_dataset)
+        np.testing.assert_allclose(
+            np.concatenate([prepared.train.profiles, prepared.test.profiles]).mean(axis=0),
+            0.0, atol=0.3)
+        serving = prep.transform_for_serving(prepared, tiny_dataset)
+        assert serving.profiles.shape == tiny_dataset.profiles.shape
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ValueError):
+            DataPreparation(test_fraction=0.0)
+
+
+class TestScenarioRegistry:
+    def test_lifecycle(self):
+        registry = ScenarioRegistry()
+        record = registry.register(1, "bank-1", is_initial=True)
+        assert record.status == ScenarioStatus.REGISTERED
+        registry.set_status(1, ScenarioStatus.TRAINING, "started")
+        registry.record_metric(1, "auc", 0.77)
+        assert registry.get(1).metrics["auc"] == 0.77
+        assert registry.get(1).events == ["started"]
+        assert 1 in registry and len(registry) == 1
+        assert registry.with_status(ScenarioStatus.TRAINING)[0].scenario_id == 1
+
+    def test_double_register_is_idempotent(self):
+        registry = ScenarioRegistry()
+        first = registry.register(2, "adv-2")
+        second = registry.register(2, "adv-2-renamed")
+        assert first is second
+
+    def test_unknown_scenario_raises(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(ScenarioNotFoundError):
+            registry.get(5)

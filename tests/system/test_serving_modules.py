@@ -1,0 +1,162 @@
+"""Tests for model serving, the agnostic/specific modules and the ALT orchestrator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelNotDeployedError
+from repro.meta.distillation import DistillationConfig
+from repro.meta.finetune import FineTuneConfig
+from repro.models.config import ModelConfig
+from repro.models.factory import build_model
+from repro.nas.search import NASConfig
+from repro.system.agnostic_module import AgnosticInitConfig, ScenarioAgnosticModule
+from repro.system.orchestrator import ALTSystem, ALTSystemConfig
+from repro.system.serving import ModelServer
+from repro.system.specific_module import ScenarioSpecificModule, SpecificBuildConfig
+from repro.training.trainer import TrainingConfig, train_supervised
+from repro.utils.serialization import load_state
+
+FAST_NAS = NASConfig(num_layers=2, epochs=1, batch_size=32, max_batches_per_epoch=2,
+                     candidates=("std_conv_1", "std_conv_3", "avg_pool_3", "self_att"))
+FAST_DISTILL = DistillationConfig(epochs=1, batch_size=32)
+FAST_FINETUNE = FineTuneConfig(inner_lr=0.01, epochs=1, batch_size=32)
+
+
+@pytest.fixture
+def model_config(tiny_model_config) -> ModelConfig:
+    return tiny_model_config
+
+
+class TestModelServer:
+    def test_deploy_predict_and_latency(self, model_config, tiny_collection):
+        server = ModelServer()
+        model = build_model(model_config, seed=0)
+        deployment = server.deploy(1, model, flops=123.0, metadata={"note": "test"})
+        assert deployment.version == 1
+        assert server.is_deployed(1)
+        batch = tiny_collection.get(1).test.as_batch()
+        scores = server.predict(1, batch)
+        assert scores.shape == (len(batch),)
+        assert server.mean_latency_ms(1) > 0
+        assert 1 in server.latency_report()
+
+    def test_versions_increment(self, model_config):
+        server = ModelServer()
+        server.deploy(3, build_model(model_config, seed=0))
+        second = server.deploy(3, build_model(model_config, seed=1))
+        assert second.version == 2
+        assert len(server.history()) == 2
+        assert len(server.deployments()) == 1
+
+    def test_undeployed_scenario_raises(self, model_config, tiny_collection):
+        server = ModelServer()
+        with pytest.raises(ModelNotDeployedError):
+            server.predict(9, tiny_collection.get(1).test.as_batch())
+
+    def test_persistence_to_disk(self, model_config, tmp_path):
+        server = ModelServer(storage_dir=str(tmp_path))
+        model = build_model(model_config, seed=0)
+        server.deploy(7, model, flops=10.0)
+        stored = load_state(tmp_path / "scenario_7_v1")
+        assert set(stored) == set(model.state_dict())
+
+
+class TestAgnosticModule:
+    def test_predesigned_initialisation(self, model_config, tiny_collection):
+        module = ScenarioAgnosticModule(
+            model_config,
+            AgnosticInitConfig(strategy="predesigned", final_epochs=1, batch_size=32),
+            fine_tune_config=FAST_FINETUNE,
+            rng=np.random.default_rng(0),
+        )
+        pooled = tiny_collection.pooled_train([1, 2])
+        model = module.initialize(pooled)
+        assert module.report is not None
+        assert module.report.chosen == "predesigned"
+        assert module.require_meta_learner().agnostic_model is model
+
+    def test_hpo_initialisation_records_params(self, model_config, tiny_collection):
+        module = ScenarioAgnosticModule(
+            model_config,
+            AgnosticInitConfig(strategy="hpo", hpo_trials=2, candidate_epochs=1,
+                               final_epochs=1, batch_size=32),
+            rng=np.random.default_rng(0),
+        )
+        module.initialize(tiny_collection.pooled_train([1, 2]))
+        assert module.report.best_hpo_params is not None
+        assert "hpo" in module.report.candidate_auc
+
+    def test_meta_learner_requires_initialisation(self, model_config):
+        module = ScenarioAgnosticModule(model_config)
+        with pytest.raises(ConfigurationError):
+            module.require_meta_learner()
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ConfigurationError):
+            AgnosticInitConfig(strategy="magic")
+
+
+class TestSpecificModule:
+    def test_build_produces_light_model_under_budget(self, model_config, tiny_collection):
+        agnostic = build_model(model_config, seed=0)
+        train_supervised(agnostic, tiny_collection.pooled_train([1, 2]),
+                         TrainingConfig(epochs=1, batch_size=32), rng=np.random.default_rng(0))
+        from repro.meta.agnostic import MetaLearner
+        learner = MetaLearner(agnostic, fine_tune_config=FAST_FINETUNE)
+        module = ScenarioSpecificModule(
+            learner, model_config,
+            SpecificBuildConfig(nas=FAST_NAS, distillation=FAST_DISTILL),
+            rng=np.random.default_rng(0),
+        )
+        scenario = tiny_collection.get(3)
+        artifacts = module.build(3, scenario.train, scenario.test)
+        assert artifacts.light_flops < artifacts.heavy_flops
+        assert artifacts.genotype.num_layers == FAST_NAS.num_layers
+        assert artifacts.light_auc is not None and 0.0 <= artifacts.light_auc <= 1.0
+        assert artifacts.pipeline_seconds > 0
+        assert "budget_nas" in artifacts.stage_seconds
+
+    def test_build_many_shares_one_feedback_update(self, model_config, tiny_collection):
+        agnostic = build_model(model_config, seed=0)
+        from repro.meta.agnostic import MetaLearner
+        learner = MetaLearner(agnostic, fine_tune_config=FAST_FINETUNE)
+        module = ScenarioSpecificModule(
+            learner, model_config,
+            SpecificBuildConfig(nas=FAST_NAS, distillation=FAST_DISTILL),
+            rng=np.random.default_rng(0),
+        )
+        payload = [(1, tiny_collection.get(1).train, None), (2, tiny_collection.get(2).train, None)]
+        results = module.build_many(payload)
+        assert len(results) == 2
+        assert learner.num_feedback_updates == 1
+        assert learner.num_adaptations == 2
+
+
+class TestALTSystem:
+    def test_end_to_end_pipeline(self, model_config, tiny_collection, tmp_path):
+        config = ALTSystemConfig(
+            model=model_config,
+            init=AgnosticInitConfig(strategy="predesigned", final_epochs=1, batch_size=32),
+            fine_tune=FAST_FINETUNE,
+            specific=SpecificBuildConfig(nas=FAST_NAS, distillation=FAST_DISTILL),
+            storage_dir=str(tmp_path),
+        )
+        system = ALTSystem(config, rng=np.random.default_rng(0))
+        initial = system.initialize(tiny_collection, initial_ids=[1, 2])
+        assert initial == [1, 2]
+        new_scenario = tiny_collection.get(4)
+        artifacts = system.add_scenario(new_scenario)
+        assert system.server.is_deployed(4)
+        scores = system.predict(4, new_scenario.test.as_batch())
+        assert scores.shape == (len(new_scenario.test),)
+        summary = system.summary()
+        assert summary["num_serving"] == 1
+        assert summary["mean_pipeline_seconds"] > 0
+        assert artifacts.light_flops <= artifacts.flops_budget + artifacts.heavy_flops
+
+    def test_add_scenario_before_initialize_raises(self, model_config, tiny_collection):
+        system = ALTSystem(ALTSystemConfig(model=model_config))
+        with pytest.raises(ConfigurationError):
+            system.add_scenario(tiny_collection.get(1))

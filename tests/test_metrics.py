@@ -1,0 +1,100 @@
+"""Tests for AUC / accuracy / log loss and the efficiency report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import accuracy, auc_score, log_loss
+from repro.metrics.efficiency import EfficiencyReport, measure_inference_time
+from repro.nn.data import Batch
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert abs(auc_score(labels, scores) - 0.5) < 0.03
+
+    def test_ties_get_average_rank(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == 0.5
+
+    def test_single_class_returns_half(self):
+        assert auc_score(np.zeros(5), np.random.default_rng(0).random(5)) == 0.5
+        assert auc_score(np.ones(5), np.random.default_rng(0).random(5)) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.zeros(3), np.zeros(4))
+
+    def test_known_value(self):
+        labels = np.array([1, 0, 1, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7, 0.6, 0.1])
+        # Correctly ranked (pos, neg) pairs: (0.9,0.8), (0.9,0.6), (0.7,0.6) out of 6.
+        assert auc_score(labels, scores) == pytest.approx(3 / 6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 40), st.integers(1, 1000))
+    def test_auc_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        scores = rng.normal(size=n)
+        value = auc_score(labels, scores)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(5, 30), st.integers(1, 500))
+    def test_auc_invariant_to_monotonic_transform(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        scores = rng.normal(size=n)
+        transformed = 3.0 * scores + 7.0
+        assert auc_score(labels, scores) == pytest.approx(auc_score(labels, transformed))
+
+
+class TestOtherMetrics:
+    def test_accuracy(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.1, 0.3, 0.6])
+        assert accuracy(labels, scores) == 0.5
+
+    def test_log_loss_perfect(self):
+        assert log_loss(np.array([1, 0]), np.array([1.0, 0.0])) < 1e-10
+
+    def test_log_loss_uniform(self):
+        assert log_loss(np.array([1, 0]), np.array([0.5, 0.5])) == pytest.approx(np.log(2))
+
+
+class TestEfficiency:
+    def test_report_formatting(self):
+        report = EfficiencyReport(flops=2_460_000, inference_time_ms=5.14, batch_size=64)
+        assert report.flops_human == "2.46M"
+        row = report.as_row()
+        assert row["inference_ms"] == 5.14
+
+    def test_measure_inference_time_positive(self):
+        batch = Batch(np.zeros((8, 3)), np.zeros((8, 4), dtype=np.int64),
+                      np.ones((8, 4)), np.zeros(8))
+        elapsed = measure_inference_time(lambda b: np.zeros(len(b)), batch, repeats=2, warmup=1)
+        assert elapsed >= 0.0
+
+    def test_measure_inference_time_invalid_repeats(self):
+        batch = Batch(np.zeros((2, 3)), np.zeros((2, 4), dtype=np.int64),
+                      np.ones((2, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            measure_inference_time(lambda b: np.zeros(len(b)), batch, repeats=0)
