@@ -1,0 +1,102 @@
+"""Offline-friendly PEP 517 build backend (see ``[build-system]`` in pyproject.toml).
+
+The fully offline toolchain this project targets has ``setuptools`` but not the
+``wheel`` package, and setuptools' stock metadata hooks shell out to the
+``bdist_wheel`` command that only ``wheel`` provides.  This thin backend keeps
+``pip install -e . --no-build-isolation`` working in that environment:
+
+* ``prepare_metadata_for_build_wheel`` builds the ``.dist-info`` directly from
+  ``setup.py egg_info`` output (PKG-INFO + a requires.txt -> Requires-Dist
+  conversion), with no ``bdist_wheel`` involved;
+* ``build_editable`` is deliberately **not** exported, so pip falls back to the
+  legacy ``setup.py develop`` editable install, which needs setuptools only;
+* ``build_wheel``/``build_sdist`` delegate to setuptools and therefore work in
+  any environment that does have ``wheel`` installed (e.g. CI or a dev laptop).
+"""
+
+from __future__ import annotations
+
+import email
+import email.policy
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+from setuptools import build_meta as _orig
+
+__all__ = [
+    "get_requires_for_build_wheel",
+    "get_requires_for_build_sdist",
+    "prepare_metadata_for_build_wheel",
+    "build_wheel",
+    "build_sdist",
+]
+
+build_wheel = _orig.build_wheel
+build_sdist = _orig.build_sdist
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    # Unlike stock setuptools we do NOT request "wheel" here: the metadata
+    # path below works without it, and requesting it would make pip's build
+    # dependency check fail on the offline toolchain.
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def _requires_to_dist(requires_txt: str):
+    """Convert egg-info ``requires.txt`` sections into Requires-Dist strings."""
+    section = None
+    for line in requires_txt.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1]
+            continue
+        if not section:
+            yield line
+            continue
+        extra, _, marker = section.partition(":")
+        clauses = []
+        if marker:
+            clauses.append(f"({marker})" if " or " in marker else marker)
+        if extra:
+            clauses.append(f'extra == "{extra}"')
+        yield f"{line} ; {' and '.join(clauses)}" if clauses else line
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    with tempfile.TemporaryDirectory() as egg_base:
+        subprocess.run(
+            [sys.executable, "setup.py", "-q", "egg_info", "--egg-base", egg_base],
+            check=True,
+        )
+        egg_info_dir = next(
+            os.path.join(egg_base, entry) for entry in os.listdir(egg_base)
+            if entry.endswith(".egg-info")
+        )
+        pkg_info = email.message_from_string(
+            open(os.path.join(egg_info_dir, "PKG-INFO"), encoding="utf-8").read(),
+            policy=email.policy.compat32,
+        )
+        requires_path = os.path.join(egg_info_dir, "requires.txt")
+        if os.path.exists(requires_path):
+            for spec in _requires_to_dist(open(requires_path, encoding="utf-8").read()):
+                pkg_info["Requires-Dist"] = spec
+        name = re.sub(r"[^\w\d.]+", "_", pkg_info["Name"], flags=re.UNICODE)
+        version = re.sub(r"[^\w\d.+]+", "_", pkg_info["Version"], flags=re.UNICODE)
+        dist_info = os.path.join(metadata_directory, f"{name}-{version}.dist-info")
+        os.makedirs(dist_info, exist_ok=True)
+        with open(os.path.join(dist_info, "METADATA"), "w", encoding="utf-8") as fh:
+            fh.write(pkg_info.as_string())
+        entry_points = os.path.join(egg_info_dir, "entry_points.txt")
+        if os.path.exists(entry_points):
+            shutil.copy(entry_points, os.path.join(dist_info, "entry_points.txt"))
+        return os.path.basename(dist_info)

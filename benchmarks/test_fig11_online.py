@@ -15,6 +15,8 @@ the window, with a clearly positive average relative improvement for Ours.
 
 from __future__ import annotations
 
+import pytest
+
 from common import bench_strategy_config, save_result
 
 from repro.data.online import OnlineConfig, OnlineExperiment, make_online_collection
@@ -27,6 +29,8 @@ from repro.strategies import StrategyRunner
 from repro.strategies.config import derive_model_config
 from repro.training.trainer import train_supervised
 from repro.utils.rng import new_rng
+
+pytestmark = pytest.mark.slow
 
 
 def _train_policies():

@@ -1,0 +1,57 @@
+"""Parallel tune-server throughput — trials/sec scaling with the worker pool.
+
+The paper's tune server dispatches trials to distributed executors; this
+benchmark checks that the in-process worker pool actually delivers that
+concurrency on a sleep-bound objective (the regime a real objective is in
+whenever trial evaluation waits on I/O, a remote training job or a GIL-free
+numpy kernel): 4 workers must be at least 2x faster than 1 worker.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from common import save_result
+
+from repro.automl import RandomSearch, Study, StudyConfig
+from repro.automl.search_space import SearchSpace, Uniform
+from repro.experiments import format_table
+
+N_TRIALS = 16
+SLEEP_SECONDS = 0.05
+
+
+def _sleepy_objective(trial):
+    time.sleep(SLEEP_SECONDS)
+    return trial.params["x"]
+
+
+def _run(n_workers: int) -> float:
+    space = SearchSpace({"x": Uniform(0.0, 1.0)})
+    study = Study(space, algorithm=RandomSearch(rng=np.random.default_rng(0)),
+                  config=StudyConfig(n_trials=N_TRIALS),
+                  rng=np.random.default_rng(0))
+    start = time.perf_counter()
+    study.optimize(_sleepy_objective, n_workers=n_workers)
+    elapsed = time.perf_counter() - start
+    assert len(study.trials) == N_TRIALS
+    return elapsed
+
+
+def test_parallel_throughput():
+    rows = []
+    timings = {}
+    for n_workers in (1, 2, 4):
+        elapsed = _run(n_workers)
+        timings[n_workers] = elapsed
+        rows.append({
+            "n_workers": n_workers,
+            "seconds": round(elapsed, 3),
+            "trials_per_sec": round(N_TRIALS / elapsed, 2),
+            "speedup": round(timings[1] / elapsed, 2),
+        })
+    text = format_table(rows, title="Tune-server throughput on a 50 ms sleep objective")
+    save_result("parallel_throughput", text)
+    speedup = timings[1] / timings[4]
+    assert speedup >= 2.0, f"4 workers only {speedup:.2f}x faster than 1"

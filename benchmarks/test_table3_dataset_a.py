@@ -13,6 +13,8 @@ from common import bench_strategy_config, dataset_a_small, save_result
 from repro.experiments import format_average_row, format_comparison_table
 from repro.strategies import StrategyRunner
 
+pytestmark = pytest.mark.slow
+
 STRATEGIES = ("sinh", "meh", "mel", "ours")
 
 

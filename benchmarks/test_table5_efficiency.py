@@ -13,6 +13,8 @@ from repro.experiments import format_table
 from repro.nn.flops import format_flops
 from repro.strategies import StrategyRunner
 
+pytestmark = pytest.mark.slow
+
 # Heavy = the MeH serving model, Light = the pre-defined light model (MeL),
 # Ours = the budget-NAS searched model, exactly the three columns of Table V.
 STRATEGY_TO_COLUMN = {"meh": "Heavy", "mel": "Light", "ours": "Ours"}

@@ -12,6 +12,8 @@ more initial scenarios are pooled.
 
 from __future__ import annotations
 
+import pytest
+
 from common import bench_strategy_config, dataset_a_small, save_result
 
 from repro.experiments import format_table
@@ -21,6 +23,8 @@ from repro.nn.data import train_test_split
 from repro.strategies.config import derive_model_config
 from repro.training.trainer import TrainingConfig, evaluate_auc, train_supervised
 from repro.utils.rng import new_rng
+
+pytestmark = pytest.mark.slow
 
 INITIAL_COUNTS = (2, 4, 8, 16)
 TRAIN = TrainingConfig(epochs=2, batch_size=64, learning_rate=0.01)

@@ -10,10 +10,14 @@ of Fig. 10 is reproduced as the per-scenario table.
 
 from __future__ import annotations
 
+import pytest
+
 from common import bench_strategy_config, dataset_a_small, save_result
 
 from repro.experiments import format_table
 from repro.strategies import StrategyRunner
+
+pytestmark = pytest.mark.slow
 
 
 def _run_sequence_ablation():

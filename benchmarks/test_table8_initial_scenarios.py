@@ -10,10 +10,14 @@ while SinH (which ignores the pool) stays flat.
 
 from __future__ import annotations
 
+import pytest
+
 from common import bench_strategy_config, dataset_a_small, save_result
 
 from repro.experiments import format_table
 from repro.strategies import StrategyRunner
+
+pytestmark = pytest.mark.slow
 
 INITIAL_COUNTS = (2, 4, 8, 16)
 # A fixed evaluation subset keeps the sweep affordable while covering head and tail.

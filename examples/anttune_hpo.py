@@ -6,16 +6,20 @@ search space to the simulated AntTune server with the RACOS optimiser (the
 paper's default), early stopping and fault tolerance, and compares a few of
 the implemented optimisers on the same budget.
 
-Run with ``python examples/anttune_hpo.py``.
+Run with ``python examples/anttune_hpo.py`` (add ``--workers 4`` to evaluate
+trials concurrently on the server's worker pool).
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
 from repro.automl import (
     RACOS,
     AntTuneClient,
+    AntTuneServer,
     BayesianOptimization,
     EvolutionarySearch,
     MedianPruner,
@@ -31,6 +35,11 @@ from repro.training.trainer import TrainingConfig, evaluate_auc, train_supervise
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker-pool size for concurrent trial execution (default: 1)")
+    args = parser.parse_args()
+
     world = SyntheticWorld(WorldConfig(profile_dim=16, vocab_size=24, seq_len=12), seed=2)
     scenario = world.generate(ScenarioSpec(scenario_id=1, name="pool", size=700),
                               rng=np.random.default_rng(0))
@@ -58,8 +67,9 @@ def main() -> None:
         "Evolutionary": EvolutionarySearch(rng=np.random.default_rng(0)),
         "Bayesian (GP + EI)": BayesianOptimization(n_initial=3, rng=np.random.default_rng(0)),
     }
-    client = AntTuneClient()
-    print("Tuning the Fig. 3 search space with 8 trials per optimiser:\n")
+    client = AntTuneClient(server=AntTuneServer(num_workers=args.workers))
+    print(f"Tuning the Fig. 3 search space with 8 trials per optimiser "
+          f"({args.workers} worker(s)):\n")
     for name, algorithm in algorithms.items():
         best = client.tune(space, objective, algorithm=algorithm,
                            config=StudyConfig(maximize=True, n_trials=8, max_retries=1),

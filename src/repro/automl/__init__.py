@@ -8,12 +8,18 @@ from repro.automl.algorithms import (
     RandomSearch,
     SearchAlgorithm,
 )
+from repro.automl.executors import (
+    SynchronousExecutor,
+    ThreadPoolTrialExecutor,
+    TrialExecutor,
+    make_executor,
+)
 from repro.automl.presets import apply_params_to_config, pre_designed_model_space
 from repro.automl.pruners import MedianPruner, NoPruner, Pruner
 from repro.automl.search_space import Choice, IntUniform, LogUniform, ParamSpec, SearchSpace, Uniform
 from repro.automl.server import AntTuneClient, AntTuneServer, TuneJob
 from repro.automl.study import Study, StudyConfig
-from repro.automl.trial import PrunedTrial, Trial, TrialState
+from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
 
 __all__ = [
     "SearchSpace",
@@ -25,8 +31,13 @@ __all__ = [
     "Trial",
     "TrialState",
     "PrunedTrial",
+    "TrialCancelled",
     "Study",
     "StudyConfig",
+    "TrialExecutor",
+    "SynchronousExecutor",
+    "ThreadPoolTrialExecutor",
+    "make_executor",
     "Pruner",
     "NoPruner",
     "MedianPruner",

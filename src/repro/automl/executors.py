@@ -1,0 +1,205 @@
+"""Trial executors: the worker pool behind :meth:`repro.automl.study.Study.optimize`.
+
+The paper's tune server (Fig. 8) dispatches generated trials to a pool of
+distributed executors and collects the reported metrics.  This module provides
+the in-process equivalent of that pool:
+
+* :class:`SynchronousExecutor` runs each trial inline on the calling thread —
+  the ``n_workers=1`` case, byte-for-byte identical to the historical
+  sequential study loop.
+* :class:`ThreadPoolTrialExecutor` runs up to ``n_workers`` trials
+  concurrently on a :class:`concurrent.futures.ThreadPoolExecutor`.  It
+  enforces the per-trial time limit by deadline (stragglers are cancelled
+  cooperatively and their late results discarded) and survives worker death:
+  if the underlying pool becomes unusable the executor transparently rebuilds
+  it and resubmits.
+
+Executors only *run* trials; proposing configurations (``ask``) and feeding
+results back into the search algorithm (``tell``) stay inside the study, which
+serialises them under a lock so any algorithm written for the sequential path
+works unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence
+
+from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
+
+__all__ = [
+    "TrialCancelled",
+    "execute_trial",
+    "TrialExecutor",
+    "SynchronousExecutor",
+    "ThreadPoolTrialExecutor",
+    "make_executor",
+]
+
+Objective = Callable[[Trial], float]
+
+
+def execute_trial(objective: Objective, trial: Trial,
+                  trial_time_limit: Optional[float] = None) -> Trial:
+    """Run ``objective`` on ``trial`` and record outcome, duration and errors.
+
+    This is the single place where a trial's lifecycle transitions happen, for
+    both the sequential and the pooled path.  If the trial was cancelled while
+    the objective ran (deadline enforcement), the late result is discarded and
+    the TIMED_OUT state set by the canceller is preserved.
+    """
+    start = time.perf_counter()
+    try:
+        value = objective(trial)
+        outcome, result, error = TrialState.COMPLETED, float(value), None
+    except (PrunedTrial, TrialCancelled) as exc:
+        cancelled = isinstance(exc, TrialCancelled) or trial.is_cancelled
+        outcome = TrialState.TIMED_OUT if cancelled else TrialState.PRUNED
+        result, error = None, None
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - fault tolerance: even SystemExit
+        # from a dying worker must not leave the trial stuck in RUNNING.
+        outcome, result = TrialState.FAILED, None
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=3)}"
+    duration = time.perf_counter() - start
+    with trial._state_lock:
+        if trial.is_cancelled:
+            # A straggler finishing after its deadline: whatever the late
+            # outcome was (success, failure, prune), the algorithm has already
+            # been told TIMED_OUT, so the recorded state must stay TIMED_OUT
+            # and the whole late outcome (value, error, duration) is
+            # discarded, keeping the canceller's bookkeeping intact.
+            trial.value = None
+            trial.state = TrialState.TIMED_OUT
+            return trial
+        trial.value = result
+        trial.error = error
+        trial.state = outcome
+        trial.duration_seconds = duration
+        if (outcome == TrialState.COMPLETED and trial_time_limit is not None
+                and duration > trial_time_limit):
+            trial.state = TrialState.TIMED_OUT
+    return trial
+
+
+class TrialExecutor:
+    """Minimal pool interface: submit trials, wait for a batch, shut down."""
+
+    n_workers: int = 1
+
+    def submit(self, objective: Objective, trial: Trial,
+               trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        raise NotImplementedError
+
+    def run_batch(self, objective: Objective, trials: Sequence[Trial],
+                  trial_time_limit: Optional[float] = None) -> List[Trial]:
+        """Run ``trials`` (at most ``n_workers`` of them) and block until each
+        one has a terminal state, enforcing ``trial_time_limit`` as a deadline
+        measured from batch submission."""
+        futures = [self.submit(objective, t, trial_time_limit) for t in trials]
+        done, not_done = wait(futures, timeout=trial_time_limit)
+        for future, trial in zip(futures, trials):
+            if future in not_done:
+                trial.cancel()  # cooperative: Trial.report raises from now on
+                never_started = future.cancel()
+                with trial._state_lock:
+                    if trial.is_finished:
+                        continue
+                    if never_started:
+                        # The pool was starved (e.g. by a non-cooperative
+                        # straggler) and this trial never ran: record it as
+                        # FAILED so the study's retry logic resubmits it
+                        # instead of pretending it timed out.
+                        trial.state = TrialState.FAILED
+                        trial.error = ("trial never started: worker pool "
+                                       "starved at the batch deadline")
+                    else:
+                        trial.state = TrialState.TIMED_OUT
+                        trial.duration_seconds = trial_time_limit or 0.0
+        for future in futures:
+            if future in done and future.exception() is not None:
+                # Only non-Exception BaseExceptions (e.g. KeyboardInterrupt)
+                # escape execute_trial: surface them on the dispatching thread
+                # so the study aborts instead of looping over a dead worker.
+                raise future.exception()
+        return list(trials)
+
+    def shutdown(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+class SynchronousExecutor(TrialExecutor):
+    """Runs every trial inline on the calling thread (``n_workers=1``)."""
+
+    n_workers = 1
+
+    def submit(self, objective: Objective, trial: Trial,
+               trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        future: "Future[Trial]" = Future()
+        future.set_result(execute_trial(objective, trial, trial_time_limit))
+        return future
+
+
+class ThreadPoolTrialExecutor(TrialExecutor):
+    """Runs trials on a ``ThreadPoolExecutor`` with fault-tolerant resubmission.
+
+    Worker death (a pool that raises on submit, e.g. after an interpreter-level
+    failure marked it broken) is handled by rebuilding the pool once per
+    submission attempt, so a study survives losing its workers mid-flight.
+    """
+
+    def __init__(self, n_workers: int, thread_name_prefix: str = "anttune-worker") -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._thread_name_prefix = thread_name_prefix
+        self._pool_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix=self._thread_name_prefix)
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def submit(self, objective: Objective, trial: Trial,
+               trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        try:
+            return self._ensure_pool().submit(execute_trial, objective, trial,
+                                              trial_time_limit)
+        except RuntimeError:
+            # BrokenThreadPool subclasses RuntimeError; a shut-down pool raises
+            # RuntimeError too.  Rebuild once and resubmit.
+            self._discard_pool()
+            return self._ensure_pool().submit(execute_trial, objective, trial,
+                                              trial_time_limit)
+
+    def shutdown(self) -> None:
+        self._discard_pool()
+
+
+def make_executor(n_workers: int) -> TrialExecutor:
+    """Pick the cheapest executor that provides ``n_workers`` workers."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if n_workers == 1:
+        return SynchronousExecutor()
+    return ThreadPoolTrialExecutor(n_workers)

@@ -1,11 +1,13 @@
-"""A small in-process simulation of the AntTune client/server architecture (Fig. 8).
+"""An in-process implementation of the AntTune client/server architecture (Fig. 8).
 
 In the paper, an SDK submits a tuning request (search space + limits) to a
 tune server, which generates candidate trials, dispatches them to distributed
 executors, collects the metrics and finally returns the best model
 configuration.  Offline we model the same flow: the server owns studies keyed
-by job id, trials are assigned round-robin to a pool of named (simulated)
-workers, and the client polls for the best result.
+by job id and a shared worker pool (:mod:`repro.automl.executors`); running a
+job executes batches of up to ``num_workers`` trials concurrently, each trial
+attributed round-robin to a named worker, and the client polls for the best
+result.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.executors import TrialExecutor, make_executor
 from repro.automl.pruners import Pruner
 from repro.automl.search_space import SearchSpace
 from repro.automl.study import Study, StudyConfig
@@ -45,7 +48,7 @@ class TuneJob:
 
 
 class AntTuneServer:
-    """Holds jobs, generates trials and records their metrics."""
+    """Holds jobs, generates trials and dispatches them to a worker pool."""
 
     def __init__(self, num_workers: int = 4) -> None:
         if num_workers < 1:
@@ -53,6 +56,14 @@ class AntTuneServer:
         self.num_workers = num_workers
         self._jobs: Dict[int, TuneJob] = {}
         self._next_job_id = itertools.count()
+        self._executor: Optional[TrialExecutor] = None
+
+    @property
+    def executor(self) -> TrialExecutor:
+        """The worker pool shared by every job on this server (lazy)."""
+        if self._executor is None:
+            self._executor = make_executor(self.num_workers)
+        return self._executor
 
     def submit(self, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
@@ -68,30 +79,22 @@ class AntTuneServer:
                                      workers=workers)
         return job_id
 
-    def run(self, job_id: int) -> Trial:
-        """Execute all trials of a job, assigning them round-robin to workers."""
+    def run(self, job_id: int, checkpoint_path: Optional[str] = None) -> Trial:
+        """Execute all trials of a job on the server's worker pool.
+
+        Batches of up to ``num_workers`` trials run concurrently; each trial
+        is attributed round-robin to one of the job's named workers.
+        """
         job = self._get(job_id)
-        study = job.study
-        worker_cycle = itertools.cycle(job.workers)
-        original_n_trials = study.config.n_trials
-        # Drive the study one trial at a time so each trial can be attributed
-        # to a distinct (simulated) worker, mirroring the distributed execution.
-        for _ in range(original_n_trials):
-            single = StudyConfig(
-                maximize=study.config.maximize,
-                n_trials=1,
-                trial_time_limit=study.config.trial_time_limit,
-                total_time_limit=study.config.total_time_limit,
-                max_retries=study.config.max_retries,
-                raise_on_all_failed=False,
-            )
-            study.config = single
-            study.optimize(job.objective, worker_name=next(worker_cycle))
-        job.finished = True
         try:
-            return study.best_trial
+            job.study.optimize(job.objective, executor=self.executor,
+                               worker_names=job.workers,
+                               checkpoint_path=checkpoint_path)
+            return job.study.best_trial
         except TrialError as exc:
             raise TrialError(f"job {job_id}: every trial failed") from exc
+        finally:
+            job.finished = True
 
     def status(self, job_id: int) -> Dict[str, object]:
         job = self._get(job_id)
@@ -105,6 +108,12 @@ class AntTuneServer:
             "states": states,
             "workers": list(job.workers),
         }
+
+    def shutdown(self) -> None:
+        """Release the shared worker pool (idempotent; pool is rebuilt on use)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
 
     def _get(self, job_id: int) -> TuneJob:
         if job_id not in self._jobs:

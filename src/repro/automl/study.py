@@ -7,29 +7,41 @@ The systematic features described in the paper are modelled explicitly:
 * per-trial time limit and an overall job time limit,
 * early stopping of futureless trials (via a :class:`~repro.automl.pruners.Pruner`),
 * a fault-tolerant mechanism (failed trials are recorded and retried up to a
-  configurable number of times without aborting the study).
+  configurable number of times without aborting the study),
+* parallel trial execution on a worker pool (``optimize(..., n_workers=4)``),
+  mirroring the paper's dispatch of trials to distributed executors,
+* JSON checkpointing so an interrupted study can resume where it stopped.
+
+Parallel runs are round-based: up to ``n_workers`` configurations are asked
+from the algorithm, evaluated concurrently, then told back in submission
+order under a lock.  Because ask/tell stay serialised, every sequential
+algorithm works unchanged and a fixed seed gives a deterministic trial set.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-import traceback
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.algorithms.racos import RACOS
+from repro.automl.executors import TrialExecutor, execute_trial, make_executor
 from repro.automl.pruners import NoPruner, Pruner
 from repro.automl.search_space import SearchSpace
-from repro.automl.trial import PrunedTrial, Trial, TrialState
+from repro.automl.trial import Trial, TrialState
 from repro.exceptions import TrialError
 from repro.utils.rng import new_rng
+from repro.utils.serialization import load_json, save_json
 
-__all__ = ["StudyConfig", "Study"]
+__all__ = ["StudyConfig", "Study", "CHECKPOINT_VERSION"]
 
 Objective = Callable[[Trial], float]
+
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -54,7 +66,7 @@ class StudyConfig:
 
 
 class Study:
-    """Sequential (optionally simulated-distributed) hyper-parameter study."""
+    """Hyper-parameter study: sequential by default, pooled with ``n_workers>1``."""
 
     def __init__(self, space: SearchSpace, algorithm: Optional[SearchAlgorithm] = None,
                  config: Optional[StudyConfig] = None, pruner: Optional[Pruner] = None,
@@ -65,6 +77,12 @@ class Study:
         self.config = config or StudyConfig()
         self.pruner = pruner or NoPruner()
         self.trials: List[Trial] = []
+        # Serialises ask/tell and trial-list mutation between worker batches.
+        self._lock = threading.RLock()
+        # Trial-budget slots consumed: restored from a checkpoint so a resumed
+        # study only runs the remainder; retries do not consume extra slots.
+        self._budget_used = 0
+        self._resume_offset = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -91,14 +109,46 @@ class Study:
     # ------------------------------------------------------------------ #
     # Optimisation loop
     # ------------------------------------------------------------------ #
-    def optimize(self, objective: Objective, worker_name: str = "worker-0") -> Optional[Trial]:
+    def optimize(self, objective: Objective, worker_name: str = "worker-0", *,
+                 n_workers: int = 1, executor: Optional[TrialExecutor] = None,
+                 worker_names: Optional[Sequence[str]] = None,
+                 checkpoint_path: Optional[str] = None) -> Optional[Trial]:
         """Run the configured number of trials and return the best one.
 
-        Returns ``None`` when no trial completed and ``raise_on_all_failed`` is
-        False (e.g. every trial failed or was pruned).
+        With ``n_workers=1`` (and no explicit ``executor``) trials run inline
+        on the calling thread, exactly as the historical sequential loop did.
+        Otherwise batches of up to ``n_workers`` trials are evaluated
+        concurrently on a thread pool; ask/tell remain serialised so results
+        are deterministic for a fixed seed and deterministic objective.
+
+        ``checkpoint_path`` saves the study state as JSON after every trial
+        (sequential) or batch (parallel); see :meth:`restore_checkpoint`.
+        Returns ``None`` when no trial completed and ``raise_on_all_failed``
+        is False (e.g. every trial failed or was pruned).
         """
+        remaining = max(0, self.config.n_trials - self._resume_offset)
+        self._budget_used, self._resume_offset = self._resume_offset, 0
+        if executor is None and n_workers == 1:
+            self._run_sequential(objective, worker_name, remaining, checkpoint_path)
+        else:
+            self._run_parallel(objective, remaining, n_workers=n_workers,
+                               executor=executor, worker_names=worker_names,
+                               checkpoint_path=checkpoint_path)
+        if not completed_trials(self.trials):
+            if self.config.raise_on_all_failed:
+                raise TrialError("every trial in the study failed")
+            return None
+        return self.best_trial
+
+    def tell(self, trial: Trial) -> None:
+        """Feed a finished trial back into the algorithm (thread-safe)."""
+        with self._lock:
+            self.algorithm.tell(trial)
+
+    def _run_sequential(self, objective: Objective, worker_name: str,
+                        remaining: int, checkpoint_path: Optional[str]) -> None:
         start_time = time.perf_counter()
-        for _ in range(self.config.n_trials):
+        for _ in range(remaining):
             if self._total_time_exceeded(start_time):
                 break
             params = self.algorithm.ask(self.space, self.trials, self.config.maximize)
@@ -107,35 +157,111 @@ class Study:
             while trial.state == TrialState.FAILED and retries < self.config.max_retries:
                 retries += 1
                 trial = self._run_single(objective, dict(params), worker_name)
-        if not completed_trials(self.trials):
-            if self.config.raise_on_all_failed:
-                raise TrialError("every trial in the study failed")
-            return None
-        return self.best_trial
+            self._budget_used += 1
+            if checkpoint_path is not None:
+                self.save_checkpoint(checkpoint_path)
 
-    def _run_single(self, objective: Objective, params: Dict[str, object], worker: str) -> Trial:
+    def _run_parallel(self, objective: Objective, remaining: int, *, n_workers: int,
+                      executor: Optional[TrialExecutor],
+                      worker_names: Optional[Sequence[str]],
+                      checkpoint_path: Optional[str]) -> None:
+        owns_executor = executor is None
+        executor = executor if executor is not None else make_executor(n_workers)
+        names = list(worker_names) if worker_names else [
+            f"worker-{i}" for i in range(executor.n_workers)]
+        start_time = time.perf_counter()
+        try:
+            while remaining > 0 and not self._total_time_exceeded(start_time):
+                batch_size = min(executor.n_workers, remaining)
+                with self._lock:
+                    asked = [self.algorithm.ask(self.space, self.trials, self.config.maximize)
+                             for _ in range(batch_size)]
+                pending = [(params, 0) for params in asked]
+                while pending:
+                    batch: List[Trial] = []
+                    with self._lock:
+                        for params, _ in pending:
+                            batch.append(self._new_trial(
+                                dict(params), names[len(self.trials) % len(names)]))
+                    executor.run_batch(objective, batch, self.config.trial_time_limit)
+                    for trial in batch:
+                        self.tell(trial)
+                    pending = [(params, retries + 1)
+                               for (params, retries), trial in zip(pending, batch)
+                               if trial.state == TrialState.FAILED
+                               and retries < self.config.max_retries]
+                self._budget_used += batch_size
+                remaining -= batch_size
+                if checkpoint_path is not None:
+                    self.save_checkpoint(checkpoint_path)
+        finally:
+            if owns_executor:
+                executor.shutdown()
+
+    def _new_trial(self, params: Dict[str, object], worker: str) -> Trial:
         trial = Trial(trial_id=len(self.trials), params=params, worker=worker)
         trial._prune_check = lambda t: self.pruner.should_prune(t, self.trials, self.config.maximize)
         trial.state = TrialState.RUNNING
         self.trials.append(trial)
-        start = time.perf_counter()
-        try:
-            value = objective(trial)
-            trial.value = float(value)
-            trial.state = TrialState.COMPLETED
-        except PrunedTrial:
-            trial.state = TrialState.PRUNED
-        except Exception as exc:  # noqa: BLE001 - fault tolerance requires catching everything
-            trial.state = TrialState.FAILED
-            trial.error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=3)}"
-        trial.duration_seconds = time.perf_counter() - start
-        if (trial.state == TrialState.COMPLETED
-                and self.config.trial_time_limit is not None
-                and trial.duration_seconds > self.config.trial_time_limit):
-            trial.state = TrialState.TIMED_OUT
-        self.algorithm.tell(trial)
+        return trial
+
+    def _run_single(self, objective: Objective, params: Dict[str, object], worker: str) -> Trial:
+        trial = self._new_trial(params, worker)
+        execute_trial(objective, trial, self.config.trial_time_limit)
+        self.tell(trial)
         return trial
 
     def _total_time_exceeded(self, start_time: float) -> bool:
         limit = self.config.total_time_limit
         return limit is not None and (time.perf_counter() - start_time) > limit
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, path: str) -> None:
+        """Write the study state (config, budget, trial history) as JSON."""
+        with self._lock:
+            payload = {
+                "version": CHECKPOINT_VERSION,
+                "algorithm": self.algorithm.name,
+                "config": asdict(self.config),
+                "budget_used": self._budget_used,
+                "trials": [t.as_record() for t in self.trials],
+            }
+        save_json(path, payload)
+
+    def restore_checkpoint(self, path: str) -> "Study":
+        """Load a checkpoint written by :meth:`save_checkpoint` into this study.
+
+        The study must be freshly constructed with the same space, algorithm
+        and config as the original run.  The trial history is rebuilt, finished
+        trials are re-told to the algorithm, and the next :meth:`optimize`
+        call runs only the remaining trial budget.
+        """
+        payload = load_json(path)
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise TrialError(f"unsupported study checkpoint version: {version!r}")
+        saved_algorithm = payload.get("algorithm")
+        if saved_algorithm != self.algorithm.name:
+            raise TrialError(
+                f"checkpoint was written by algorithm {saved_algorithm!r} but this "
+                f"study uses {self.algorithm.name!r}")
+        with self._lock:
+            self.config = StudyConfig(**payload["config"])
+            self.trials = [self._trial_from_record(r) for r in payload["trials"]]
+            self._resume_offset = int(payload["budget_used"])
+            for trial in self.trials:
+                if trial.is_finished:
+                    self.algorithm.tell(trial)
+        return self
+
+    def _trial_from_record(self, record: Dict[str, object]) -> Trial:
+        trial = Trial(trial_id=int(record["trial_id"]), params=dict(record["params"]),
+                      state=TrialState(record["state"]),
+                      value=None if record["value"] is None else float(record["value"]),
+                      duration_seconds=float(record.get("duration_seconds", 0.0)),
+                      error=record.get("error"), worker=record.get("worker"))
+        trial.intermediate_values = [float(v) for v in record.get("intermediate_values", [])]
+        trial._prune_check = lambda t: self.pruner.should_prune(t, self.trials, self.config.maximize)
+        return trial

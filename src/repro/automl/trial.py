@@ -3,14 +3,23 @@
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["TrialState", "Trial", "PrunedTrial"]
+__all__ = ["TrialState", "Trial", "PrunedTrial", "TrialCancelled"]
 
 
 class PrunedTrial(Exception):
     """Raised inside an objective to signal that the trial was early-stopped."""
+
+
+class TrialCancelled(Exception):
+    """Raised inside an objective once its trial's deadline has passed.
+
+    Cooperative objectives hit this automatically through
+    :meth:`Trial.report`; the executor maps it to ``TIMED_OUT``.
+    """
 
 
 class TrialState(enum.Enum):
@@ -51,9 +60,26 @@ class Trial:
     # The study wires this to its pruner; objectives call trial.report(...)
     # and trial.should_prune() to cooperate with early stopping.
     _prune_check: Optional[object] = None
+    # Set by the executor when the trial's deadline passes; guarded writes to
+    # the lifecycle fields go through _state_lock so a straggler worker thread
+    # and the dispatching thread never race on the terminal state.
+    _cancel_event: threading.Event = field(default_factory=threading.Event,
+                                           repr=False, compare=False)
+    _state_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the trial as past its deadline (cooperative cancellation)."""
+        self._cancel_event.set()
+
+    @property
+    def is_cancelled(self) -> bool:
+        return self._cancel_event.is_set()
 
     def report(self, value: float, step: Optional[int] = None) -> None:
         """Report an intermediate objective value (e.g. per-epoch validation AUC)."""
+        if self._cancel_event.is_set():
+            raise TrialCancelled(f"trial {self.trial_id} exceeded its time limit")
         self.intermediate_values.append(float(value))
 
     def should_prune(self) -> bool:
@@ -76,4 +102,5 @@ class Trial:
             "duration_seconds": round(self.duration_seconds, 6),
             "worker": self.worker,
             "error": self.error,
+            "intermediate_values": [float(v) for v in self.intermediate_values],
         }

@@ -1,7 +1,7 @@
 """Shared utilities: deterministic RNG handling, timing and serialization."""
 
 from repro.utils.rng import child_rng, new_rng, spawn_rngs
-from repro.utils.serialization import load_state, save_state
+from repro.utils.serialization import load_json, load_state, save_json, save_state
 from repro.utils.timer import Timer, timed
 
 __all__ = [
@@ -12,4 +12,6 @@ __all__ = [
     "timed",
     "save_state",
     "load_state",
+    "save_json",
+    "load_json",
 ]

@@ -1,22 +1,54 @@
-"""Model state persistence.
+"""Model and study state persistence.
 
 The model-serving module stores scenario specific light models on disk so that
 deployment survives process restarts.  States are a flat ``name -> ndarray``
 mapping (see :meth:`repro.nn.Module.state_dict`) and are saved as ``.npz``
 archives plus a small JSON manifest.
+
+:func:`save_json`/:func:`load_json` are the generic JSON layer underneath
+study checkpoints (:meth:`repro.automl.study.Study.save_checkpoint`): writes
+are atomic (tmp file + ``os.replace``) so a crash mid-checkpoint never leaves
+a truncated file behind, and numpy scalars/arrays are coerced to plain Python
+types so sampled hyper-parameters serialise without special-casing callers.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
-__all__ = ["save_state", "load_state"]
+__all__ = ["save_state", "load_state", "save_json", "load_json"]
 
 PathLike = Union[str, Path]
+
+
+def _json_default(obj: object) -> object:
+    """Coerce numpy scalars and arrays to JSON-native Python values."""
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"{type(obj).__name__} is not JSON serialisable")
+
+
+def save_json(path: PathLike, payload: Dict[str, object]) -> Path:
+    """Atomically write ``payload`` as pretty-printed JSON to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=_json_default))
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, object]:
+    """Load a JSON payload previously written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())
 
 
 def save_state(path: PathLike, state: Dict[str, np.ndarray],

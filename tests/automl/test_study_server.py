@@ -141,6 +141,19 @@ class TestAntTuneServer:
         workers = [t.worker for t in server._jobs[job_id].study.trials]
         assert set(workers) == {"worker-0", "worker-1"}
 
+    def test_all_failed_job_marks_finished_and_wraps_error(self, space):
+        server = AntTuneServer(num_workers=2)
+
+        def failing(trial):
+            raise RuntimeError("always fails")
+
+        job_id = server.submit(space, failing,
+                               config=StudyConfig(n_trials=2, max_retries=0),
+                               rng=np.random.default_rng(0))
+        with pytest.raises(TrialError, match="every trial failed"):
+            server.run(job_id)
+        assert server.status(job_id)["finished"] is True
+
     def test_unknown_job_raises(self):
         server = AntTuneServer()
         with pytest.raises(TrialError):
