@@ -9,15 +9,24 @@ from repro.automl.algorithms import (
     SearchAlgorithm,
 )
 from repro.automl.executors import (
+    ProcessPoolTrialExecutor,
     SynchronousExecutor,
     ThreadPoolTrialExecutor,
     TrialExecutor,
     make_executor,
+    worker_rng,
 )
 from repro.automl.presets import apply_params_to_config, pre_designed_model_space
 from repro.automl.pruners import MedianPruner, NoPruner, Pruner
+from repro.automl.scheduler import (
+    AsyncScheduler,
+    RoundScheduler,
+    TrialScheduler,
+    make_scheduler,
+)
 from repro.automl.search_space import Choice, IntUniform, LogUniform, ParamSpec, SearchSpace, Uniform
-from repro.automl.server import AntTuneClient, AntTuneServer, TuneJob
+from repro.automl.server import AntTuneClient, AntTuneServer, JobState, TuneJob
+from repro.automl.storage import StudyStorage
 from repro.automl.study import Study, StudyConfig
 from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
 
@@ -34,10 +43,17 @@ __all__ = [
     "TrialCancelled",
     "Study",
     "StudyConfig",
+    "StudyStorage",
     "TrialExecutor",
     "SynchronousExecutor",
     "ThreadPoolTrialExecutor",
+    "ProcessPoolTrialExecutor",
+    "worker_rng",
     "make_executor",
+    "TrialScheduler",
+    "RoundScheduler",
+    "AsyncScheduler",
+    "make_scheduler",
     "Pruner",
     "NoPruner",
     "MedianPruner",
@@ -49,6 +65,7 @@ __all__ = [
     "RACOS",
     "AntTuneServer",
     "AntTuneClient",
+    "JobState",
     "TuneJob",
     "pre_designed_model_space",
     "apply_params_to_config",

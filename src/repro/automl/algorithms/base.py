@@ -36,3 +36,20 @@ class SearchAlgorithm:
 
     def tell(self, trial: Trial) -> None:
         """Optional hook invoked after a trial finishes (default: no-op)."""
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, object]:
+        """JSON-serialisable internal state so a resumed study replays identically.
+
+        The base capture is the RNG stream position; algorithms with extra
+        mutable state (e.g. a grid cursor) extend the dict in overrides.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`get_state` (ignores missing keys)."""
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state

@@ -38,3 +38,12 @@ class GridSearch(SearchAlgorithm):
             self._cursor += 1
             return dict(params)
         return space.sample(self._rng)
+
+    def get_state(self) -> Dict[str, object]:
+        state = super().get_state()
+        state["cursor"] = self._cursor  # the grid itself is rebuilt from the space
+        return state
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        super().set_state(state)
+        self._cursor = int(state.get("cursor", 0))

@@ -13,6 +13,13 @@ the in-process equivalent of that pool:
   cooperatively and their late results discarded) and survives worker death:
   if the underlying pool becomes unusable the executor transparently rebuilds
   it and resubmits.
+* :class:`ProcessPoolTrialExecutor` runs trials in separate worker processes,
+  sidestepping the GIL for CPU-bound objectives.  Objectives (and their
+  sampled parameters) must be picklable; each worker process derives its own
+  RNG (:func:`worker_rng`) so stochastic objectives stay reproducible per
+  process.  Trial records are shipped back and merged into the caller's
+  :class:`~repro.automl.trial.Trial` objects, so the study loop is identical
+  across backends.
 
 Executors only *run* trials; proposing configurations (``ask``) and feeding
 results back into the search algorithm (``tell``) stay inside the study, which
@@ -22,22 +29,51 @@ works unchanged.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
 import traceback
-from concurrent.futures import Future, ThreadPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.sharedctypes import Synchronized
+
+import numpy as np
 
 from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
 
 __all__ = [
     "TrialCancelled",
     "execute_trial",
+    "expire_trial",
     "TrialExecutor",
+    "TrialExecutorClosed",
     "SynchronousExecutor",
     "ThreadPoolTrialExecutor",
+    "ProcessPoolTrialExecutor",
+    "worker_rng",
     "make_executor",
 ]
+
+EXECUTOR_BACKENDS = ("auto", "sync", "thread", "process")
+
+# A trial that has not started is waiting on the pool, which may be serving
+# another owner (a co-tenant job): its own clock hasn't begun, so it must not
+# be failed at trial_time_limit — but the wait cannot be unbounded either (a
+# wedged pool would hang the study).  This factor bounds the queue wait.
+STARVATION_GRACE_FACTOR = 5.0
+
+
+class TrialExecutorClosed(RuntimeError):
+    """Submitting to an executor after ``close()``: no pool rebuild allowed."""
 
 Objective = Callable[[Trial], float]
 
@@ -52,6 +88,7 @@ def execute_trial(objective: Objective, trial: Trial,
     the TIMED_OUT state set by the canceller is preserved.
     """
     start = time.perf_counter()
+    trial.started_at = start
     try:
         value = objective(trial)
         outcome, result, error = TrialState.COMPLETED, float(value), None
@@ -86,6 +123,28 @@ def execute_trial(objective: Objective, trial: Trial,
     return trial
 
 
+def expire_trial(trial: Trial, future: "Future[Trial]", limit: float) -> None:
+    """Cancel a trial past its deadline and record its terminal state.
+
+    A trial whose future could still be cancelled never ran: it is recorded
+    FAILED (retryable starvation), not TIMED_OUT.  A running straggler is
+    cancelled cooperatively and recorded TIMED_OUT; its late result is
+    discarded on arrival via the cancel flag.
+    """
+    trial.cancel()  # cooperative: Trial.report raises from now on
+    never_started = future.cancel()
+    with trial._state_lock:
+        if trial.is_finished:
+            return
+        if never_started:
+            trial.state = TrialState.FAILED
+            trial.error = ("trial never started: worker pool starved at "
+                           "the deadline")
+        else:
+            trial.state = TrialState.TIMED_OUT
+            trial.duration_seconds = limit
+
+
 class TrialExecutor:
     """Minimal pool interface: submit trials, wait for a batch, shut down."""
 
@@ -96,40 +155,105 @@ class TrialExecutor:
         raise NotImplementedError
 
     def run_batch(self, objective: Objective, trials: Sequence[Trial],
-                  trial_time_limit: Optional[float] = None) -> List[Trial]:
+                  trial_time_limit: Optional[float] = None,
+                  hard_deadline: Optional[float] = None) -> List[Trial]:
         """Run ``trials`` (at most ``n_workers`` of them) and block until each
-        one has a terminal state, enforcing ``trial_time_limit`` as a deadline
-        measured from batch submission."""
+        one has a terminal state.
+
+        ``trial_time_limit`` is measured from each trial's actual *start*, not
+        from batch submission, so queue wait behind other work (e.g. another
+        job sharing the pool) doesn't count against the limit.  Queue wait is
+        still bounded: a trial that hasn't started within one limit of the
+        batch's last observed start — or within ``STARVATION_GRACE_FACTOR``
+        limits of submission when nothing of ours ever started — is recorded
+        FAILED ("never started") for the study's retry logic to resubmit.
+        ``hard_deadline`` (absolute ``perf_counter`` time, from the study's
+        total time limit) expires everything still pending when reached, so a
+        wedged pool can never hang the study past its total budget.
+        """
         futures = [self.submit(objective, t, trial_time_limit) for t in trials]
-        done, not_done = wait(futures, timeout=trial_time_limit)
-        for future, trial in zip(futures, trials):
-            if future in not_done:
-                trial.cancel()  # cooperative: Trial.report raises from now on
-                never_started = future.cancel()
-                with trial._state_lock:
-                    if trial.is_finished:
-                        continue
-                    if never_started:
-                        # The pool was starved (e.g. by a non-cooperative
-                        # straggler) and this trial never ran: record it as
-                        # FAILED so the study's retry logic resubmits it
-                        # instead of pretending it timed out.
-                        trial.state = TrialState.FAILED
-                        trial.error = ("trial never started: worker pool "
-                                       "starved at the batch deadline")
-                    else:
-                        trial.state = TrialState.TIMED_OUT
-                        trial.duration_seconds = trial_time_limit or 0.0
+        if trial_time_limit is None and hard_deadline is None:
+            wait(futures)
+        else:
+            self._wait_with_deadlines(list(zip(futures, trials)),
+                                      trial_time_limit, hard_deadline)
         for future in futures:
-            if future in done and future.exception() is not None:
+            if future.done() and not future.cancelled() and future.exception() is not None:
                 # Only non-Exception BaseExceptions (e.g. KeyboardInterrupt)
                 # escape execute_trial: surface them on the dispatching thread
                 # so the study aborts instead of looping over a dead worker.
                 raise future.exception()
         return list(trials)
 
+    @staticmethod
+    def _wait_with_deadlines(pairs: List, limit: Optional[float],
+                             hard_deadline: Optional[float]) -> None:
+        """Enforce per-trial start-based deadlines over (future, trial) pairs."""
+        pending = dict(pairs)
+        submit_time = time.perf_counter()
+        grace = None if limit is None else limit * STARVATION_GRACE_FACTOR
+        latest_start: Optional[float] = None  # None until the pool serves us
+        while pending:
+            now = time.perf_counter()
+            if hard_deadline is not None and now >= hard_deadline:
+                # Total study budget spent: nothing may outlive it.
+                for future, trial in pending.items():
+                    expire_trial(trial, future, limit or 0.0)
+                return
+            for future, trial in list(pending.items()):
+                if future.done():
+                    pending.pop(future)
+                    continue
+                if trial.started_at is None and future.running():
+                    # Process workers never ship started_at back mid-run; the
+                    # first time the future reports running is the best proxy.
+                    trial.started_at = now
+                if trial.started_at is not None:
+                    latest_start = max(latest_start or trial.started_at,
+                                       trial.started_at)
+            next_deadline: Optional[float] = hard_deadline
+            for future, trial in list(pending.items()):
+                if limit is None:
+                    continue  # only the hard deadline applies
+                start = trial.started_at
+                if start is not None:
+                    deadline = start + limit
+                elif latest_start is not None:
+                    # The pool is serving this batch but not this trial: a
+                    # non-cooperative straggler of ours is starving it.
+                    deadline = min(latest_start + limit, submit_time + grace)
+                else:
+                    # Nothing of ours started: the pool is busy with *other*
+                    # work (another job) — wait, but not unboundedly.
+                    deadline = submit_time + grace
+                if now < deadline:
+                    next_deadline = (deadline if next_deadline is None
+                                     else min(next_deadline, deadline))
+                    continue
+                expire_trial(trial, future, limit)
+                # Stop waiting for it; a zombie straggler's late result is
+                # discarded on arrival via the cancel flag.
+                pending.pop(future)
+            if pending:
+                timeout = (None if next_deadline is None
+                           else max(0.0, next_deadline - now) + 0.01)
+                if limit is not None:
+                    # Cap the wait so a trial that starts mid-sleep still gets
+                    # its deadline enforced promptly.
+                    timeout = limit if timeout is None else min(timeout, limit)
+                wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+
     def shutdown(self) -> None:
-        """Release pool resources (idempotent)."""
+        """Release pool resources (idempotent; a later submit may rebuild)."""
+
+    def close(self) -> None:
+        """Shut down *permanently*: no submit may rebuild the pool afterwards.
+
+        ``shutdown`` models recoverable worker death (the pool is rebuilt on
+        the next submit); ``close`` is for owners going away for good — e.g.
+        the tune server — where a silent rebuild would leak worker threads.
+        """
+        self.shutdown()
 
     def __enter__(self) -> "TrialExecutor":
         return self
@@ -165,9 +289,12 @@ class ThreadPoolTrialExecutor(TrialExecutor):
         self._thread_name_prefix = thread_name_prefix
         self._pool_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
+            if self._closed:
+                raise TrialExecutorClosed("executor has been closed")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.n_workers,
@@ -195,11 +322,211 @@ class ThreadPoolTrialExecutor(TrialExecutor):
     def shutdown(self) -> None:
         self._discard_pool()
 
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+        self.shutdown()
 
-def make_executor(n_workers: int) -> TrialExecutor:
-    """Pick the cheapest executor that provides ``n_workers`` workers."""
+
+# --------------------------------------------------------------------------- #
+# Process-pool backend
+# --------------------------------------------------------------------------- #
+_WORKER_RNG: Optional[np.random.Generator] = None
+_THREAD_RNGS = threading.local()
+
+
+def _init_process_worker(base_seed: int, worker_counter: "Synchronized") -> None:
+    """Process-pool initializer: derive this worker's RNG from (seed, index).
+
+    The shared counter hands each worker a deterministic index 0..n-1, so for
+    a fixed ``base_seed`` the pool's RNG streams are reproducible across runs
+    (pids are not).
+    """
+    global _WORKER_RNG
+    with worker_counter.get_lock():
+        worker_index = worker_counter.value
+        worker_counter.value += 1
+    _WORKER_RNG = np.random.default_rng([int(base_seed), worker_index])
+
+
+def worker_rng() -> np.random.Generator:
+    """The per-worker RNG available to objectives running on an executor.
+
+    Inside a :class:`ProcessPoolTrialExecutor` worker the generator is derived
+    from the executor's ``base_seed`` and the worker's index in the pool, so
+    two workers never share a stream and a fixed ``base_seed`` reproduces the
+    same streams across runs.  Outside a process worker (thread or sync
+    backend) each *thread* lazily gets its own generator derived from
+    (pid, thread id) — numpy generators are not thread-safe, so the streams
+    must not be shared across pool threads.
+    """
+    if _WORKER_RNG is not None:
+        return _WORKER_RNG
+    rng = getattr(_THREAD_RNGS, "rng", None)
+    if rng is None:
+        rng = np.random.default_rng([os.getpid(), threading.get_ident()])
+        _THREAD_RNGS.rng = rng
+    return rng
+
+
+def _run_trial_in_process(objective: Objective, params: Dict[str, object],
+                          trial_id: int, worker: Optional[str],
+                          trial_time_limit: Optional[float]) -> Dict[str, object]:
+    """Worker-side entry point: rebuild the trial, run it, ship the record back."""
+    trial = Trial(trial_id=trial_id, params=params, worker=worker,
+                  state=TrialState.RUNNING)
+    execute_trial(objective, trial, trial_time_limit)
+    return trial.as_record()
+
+
+class _MergedFuture(Future):
+    """A future resolving to the *local* trial once the remote record merged.
+
+    ``cancel`` delegates to the underlying pool future so the batch deadline
+    logic can still distinguish never-started work (retryable FAILED) from a
+    running straggler (TIMED_OUT).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._raw: Optional[Future] = None
+
+    def attach(self, raw: Future) -> None:
+        self._raw = raw
+
+    def cancel(self) -> bool:
+        if self._raw is None:
+            return super().cancel()
+        return self._raw.cancel()
+
+    def running(self) -> bool:
+        if self._raw is None:
+            return super().running()
+        return self._raw.running()
+
+
+class ProcessPoolTrialExecutor(TrialExecutor):
+    """Runs trials in worker processes (CPU-bound objectives, no GIL contention).
+
+    Objectives and their parameters must be picklable.  The remote trial is a
+    fresh object in the worker process: intermediate values come back only
+    with the final record, pruners cannot act inside the worker
+    (``trial.should_prune()`` is always False remotely — the study warns when
+    a pruner is configured on this backend), and deadline cancellation cannot
+    interrupt a remote objective — the late result is discarded on arrival
+    instead.  A broken pool (worker killed hard) is rebuilt transparently and
+    the affected trials are recorded as FAILED, which the study's retry logic
+    resubmits.
+    """
+
+    def __init__(self, n_workers: int, base_seed: int = 0) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.base_seed = int(base_seed)
+        self._pool_lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise TrialExecutorClosed("executor has been closed")
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=_init_process_worker,
+                    initargs=(self.base_seed, multiprocessing.Value("i", 0)))
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _submit_raw(self, objective: Objective, trial: Trial,
+                    trial_time_limit: Optional[float]) -> Future:
+        args = (objective, dict(trial.params), trial.trial_id, trial.worker,
+                trial_time_limit)
+        try:
+            return self._ensure_pool().submit(_run_trial_in_process, *args)
+        except RuntimeError:
+            # BrokenProcessPool subclasses RuntimeError; rebuild once.
+            self._discard_pool()
+            return self._ensure_pool().submit(_run_trial_in_process, *args)
+
+    def submit(self, objective: Objective, trial: Trial,
+               trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        merged = _MergedFuture()
+        raw = self._submit_raw(objective, trial, trial_time_limit)
+        merged.attach(raw)
+        raw.add_done_callback(self._merge_into(trial, merged))
+        return merged
+
+    @staticmethod
+    def _merge_into(trial: Trial, merged: _MergedFuture) -> Callable[[Future], None]:
+        def _done(raw: Future) -> None:
+            if raw.cancelled():
+                with trial._state_lock:
+                    if not trial.is_finished:
+                        trial.state = TrialState.FAILED
+                        trial.error = ("trial never started: worker pool "
+                                       "starved at the batch deadline")
+                merged.set_result(trial)
+                return
+            exc = raw.exception()
+            if exc is not None:
+                # Unpicklable objective/result or a pool broken by a dying
+                # worker: record as FAILED (retryable), never crash the study.
+                with trial._state_lock:
+                    if not trial.is_finished:
+                        trial.state = TrialState.FAILED
+                        trial.error = f"{type(exc).__name__}: {exc}"
+                merged.set_result(trial)
+                return
+            record = raw.result()
+            with trial._state_lock:
+                if trial.is_cancelled:
+                    # Late arrival from a remote straggler: discard, keep the
+                    # canceller's TIMED_OUT bookkeeping intact.
+                    trial.value = None
+                    trial.state = TrialState.TIMED_OUT
+                else:
+                    trial.state = TrialState(record["state"])
+                    trial.value = record["value"]
+                    trial.error = record["error"]
+                    trial.duration_seconds = float(record["duration_seconds"])
+                    trial.intermediate_values = [
+                        float(v) for v in record["intermediate_values"]]
+            merged.set_result(trial)
+        return _done
+
+    def shutdown(self) -> None:
+        self._discard_pool()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+        self.shutdown()
+
+
+def make_executor(n_workers: int, backend: str = "auto",
+                  base_seed: int = 0) -> TrialExecutor:
+    """Build the executor for ``n_workers`` workers on the requested backend.
+
+    ``auto`` picks the cheapest sufficient backend: inline execution for one
+    worker, a thread pool otherwise.  ``process`` builds a
+    :class:`ProcessPoolTrialExecutor` (picklable objectives required) whose
+    workers derive per-process RNGs from ``base_seed``.
+    """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
-    if n_workers == 1:
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(f"unknown executor backend {backend!r}; "
+                         f"expected one of {EXECUTOR_BACKENDS}")
+    if backend == "process":
+        return ProcessPoolTrialExecutor(n_workers, base_seed=base_seed)
+    if backend == "sync" or (backend == "auto" and n_workers == 1):
         return SynchronousExecutor()
     return ThreadPoolTrialExecutor(n_workers)

@@ -1,0 +1,232 @@
+"""Trial schedulers: how a study keeps its worker pool busy (Fig. 8 dispatch).
+
+Two scheduling disciplines drive the executor pool:
+
+* :class:`RoundScheduler` — the deterministic default.  Up to ``n_workers``
+  configurations are asked from the algorithm, evaluated concurrently as one
+  batch, then told back in submission order.  Because the batch forms a
+  barrier, a fixed seed always yields the same trial set, but one straggler
+  idles every other worker until the round ends.
+* :class:`AsyncScheduler` — slot refill.  All ``n_workers`` slots are kept
+  busy at all times: the moment any trial finishes it is told back (under the
+  study lock, so every sequential algorithm still works unchanged) and a new
+  configuration is asked and submitted into the freed slot.  A straggler only
+  occupies its own slot.  Completion order feeds the algorithm, so the trial
+  *sequence* is not reproducible across runs — use the round scheduler when
+  bit-identical replays matter.
+
+Both schedulers share the study's retry policy (a failed configuration is
+resubmitted up to ``max_retries`` times without consuming extra budget slots),
+per-trial deadlines and the total time limit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.automl.executors import (
+    STARVATION_GRACE_FACTOR,
+    TrialExecutor,
+    expire_trial,
+)
+from repro.automl.trial import Trial, TrialState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.automl.study import Study
+
+__all__ = ["TrialScheduler", "RoundScheduler", "AsyncScheduler", "make_scheduler"]
+
+Objective = Callable[[Trial], float]
+CheckpointFn = Optional[Callable[[], None]]
+SchedulerLike = Union[None, str, "TrialScheduler"]
+
+
+class TrialScheduler:
+    """Strategy for feeding asked configurations into a :class:`TrialExecutor`."""
+
+    name: str = "base"
+
+    def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
+            remaining: int, worker_names: Sequence[str],
+            checkpoint_fn: CheckpointFn = None) -> None:
+        """Consume ``remaining`` budget slots of ``study`` on ``executor``."""
+        raise NotImplementedError
+
+
+class RoundScheduler(TrialScheduler):
+    """Round-barrier batches: deterministic, but stragglers idle the batch."""
+
+    name = "round"
+
+    def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
+            remaining: int, worker_names: Sequence[str],
+            checkpoint_fn: CheckpointFn = None) -> None:
+        names = list(worker_names)
+        config = study.config
+        start_time = time.perf_counter()
+        hard_deadline = (None if config.total_time_limit is None
+                         else start_time + config.total_time_limit)
+        while remaining > 0 and not study._total_time_exceeded(start_time):
+            batch_size = min(executor.n_workers, remaining)
+            with study._lock:
+                asked = [study.algorithm.ask(study.space, study.trials, config.maximize)
+                         for _ in range(batch_size)]
+            pending = [(params, 0) for params in asked]
+            while pending and not study._total_time_exceeded(start_time):
+                batch: List[Trial] = []
+                with study._lock:
+                    for params, _ in pending:
+                        batch.append(study._new_trial(
+                            dict(params), names[len(study.trials) % len(names)]))
+                executor.run_batch(objective, batch, config.trial_time_limit,
+                                   hard_deadline=hard_deadline)
+                for trial in batch:
+                    study.tell(trial)
+                pending = [(params, retries + 1)
+                           for (params, retries), trial in zip(pending, batch)
+                           if trial.state == TrialState.FAILED
+                           and retries < config.max_retries]
+            study._budget_used += batch_size
+            remaining -= batch_size
+            if checkpoint_fn is not None:
+                checkpoint_fn()
+
+
+@dataclass
+class _Flight:
+    """One in-flight trial: the asked params, its retry count and deadlines."""
+
+    params: Dict[str, object]
+    retries: int
+    trial: Trial
+    deadline: Optional[float]
+    submitted_at: float
+
+
+class AsyncScheduler(TrialScheduler):
+    """Slot refill: every finished trial immediately frees a slot for the next.
+
+    ask/tell stay serialised under the study lock, so algorithms see a
+    consistent history; only the *order* in which results arrive depends on
+    completion timing.
+    """
+
+    name = "async"
+
+    def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
+            remaining: int, worker_names: Sequence[str],
+            checkpoint_fn: CheckpointFn = None) -> None:
+        names = list(worker_names)
+        config = study.config
+        start_time = time.perf_counter()
+        in_flight: Dict["Future[Trial]", _Flight] = {}
+        submitted = 0
+
+        def launch(params: Dict[str, object], retries: int) -> None:
+            with study._lock:
+                trial = study._new_trial(dict(params),
+                                         names[len(study.trials) % len(names)])
+            future = executor.submit(objective, trial, config.trial_time_limit)
+            now = time.perf_counter()
+            deadline = (None if config.trial_time_limit is None
+                        else now + config.trial_time_limit)
+            in_flight[future] = _Flight(params, retries, trial, deadline, now)
+
+        def refill() -> None:
+            nonlocal submitted
+            while (submitted < remaining and len(in_flight) < executor.n_workers
+                   and not study._total_time_exceeded(start_time)):
+                with study._lock:
+                    params = study.algorithm.ask(study.space, study.trials,
+                                                 config.maximize)
+                launch(params, retries=0)
+                submitted += 1
+
+        def settle(flight: _Flight) -> None:
+            """Tell a finished trial back and either retry it or consume a slot."""
+            study.tell(flight.trial)
+            if (flight.trial.state == TrialState.FAILED
+                    and flight.retries < config.max_retries
+                    and not study._total_time_exceeded(start_time)):
+                launch(flight.params, flight.retries + 1)
+            else:
+                study._budget_used += 1
+                if checkpoint_fn is not None:
+                    checkpoint_fn()
+
+        refill()
+        while in_flight:
+            if study._total_time_exceeded(start_time):
+                # Total study budget spent: nothing may outlive it (matches
+                # the round path's hard deadline) — expire everything still
+                # in flight; settle() won't retry past the limit.
+                for future, flight in list(in_flight.items()):
+                    in_flight.pop(future)
+                    expire_trial(flight.trial, future,
+                                 config.trial_time_limit or 0.0)
+                    settle(flight)
+                break
+            deadlines = [f.deadline for f in in_flight.values() if f.deadline is not None]
+            if config.total_time_limit is not None:
+                deadlines.append(start_time + config.total_time_limit)
+            timeout = (max(0.0, min(deadlines) - time.perf_counter()) + 0.01
+                       if deadlines else None)
+            done, _ = wait(list(in_flight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                flight = in_flight.pop(future)
+                exc = future.exception()
+                if exc is not None:
+                    # Only non-Exception BaseExceptions (e.g. KeyboardInterrupt)
+                    # escape execute_trial: surface them on the scheduling
+                    # thread so the study aborts instead of spinning.
+                    raise exc
+                settle(flight)
+            now = time.perf_counter()
+            for future, flight in list(in_flight.items()):
+                if flight.deadline is None or now <= flight.deadline or future.done():
+                    continue
+                limit = config.trial_time_limit or 0.0
+                started = flight.trial.started_at
+                if started is None and future.running():
+                    # Process workers never ship started_at back mid-run; the
+                    # first time the future reports running is the best proxy.
+                    flight.trial.started_at = started = now
+                if started is not None and now <= started + limit:
+                    # The trial spent part of its window queued behind other
+                    # work (e.g. another job sharing the pool): the clock runs
+                    # from actual start, so re-arm to the true deadline.
+                    flight.deadline = started + limit
+                    continue
+                if started is None and not future.running():
+                    # Still queued: don't fail a healthy trial for pool
+                    # contention; its clock starts when it does — but bound
+                    # the wait so a wedged pool can't hang the study.
+                    # (Process workers never report started_at back, but they
+                    # also turn running only when handed to a worker.)
+                    grace_deadline = (flight.submitted_at
+                                      + limit * STARVATION_GRACE_FACTOR)
+                    if now < grace_deadline:
+                        flight.deadline = min(now + limit, grace_deadline)
+                        continue
+                expire_trial(flight.trial, future, limit)
+                in_flight.pop(future)
+                settle(flight)
+            refill()
+
+
+def make_scheduler(spec: SchedulerLike) -> TrialScheduler:
+    """Resolve ``None``/``"round"``/``"async"``/instance into a scheduler."""
+    if spec is None:
+        return RoundScheduler()
+    if isinstance(spec, TrialScheduler):
+        return spec
+    if spec == RoundScheduler.name:
+        return RoundScheduler()
+    if spec == AsyncScheduler.name:
+        return AsyncScheduler()
+    raise ValueError(f"unknown scheduler {spec!r}; expected 'round', 'async' "
+                     f"or a TrialScheduler instance")

@@ -1,35 +1,71 @@
 """An in-process implementation of the AntTune client/server architecture (Fig. 8).
 
 In the paper, an SDK submits a tuning request (search space + limits) to a
-tune server, which generates candidate trials, dispatches them to distributed
-executors, collects the metrics and finally returns the best model
-configuration.  Offline we model the same flow: the server owns studies keyed
-by job id and a shared worker pool (:mod:`repro.automl.executors`); running a
-job executes batches of up to ``num_workers`` trials concurrently, each trial
-attributed round-robin to a named worker, and the client polls for the best
-result.
+long-lived tune server, which generates candidate trials, dispatches them to
+distributed executors, collects the metrics and finally returns the best
+model configuration.  Offline we model the same flow as an async multi-job
+service:
+
+* :meth:`AntTuneServer.submit` only *enqueues* a job and returns its id —
+  a background dispatcher picks jobs up and runs up to
+  ``max_concurrent_jobs`` of them concurrently on the shared worker pool
+  (:mod:`repro.automl.executors`), driven by the configured trial scheduler
+  (:mod:`repro.automl.scheduler`).
+* Clients use the non-blocking :meth:`poll` to inspect progress and
+  :meth:`wait` to block for a result; :meth:`AntTuneClient.tune` keeps the
+  blocking submit-and-wait convenience API on top.
+* With a :class:`~repro.automl.storage.StudyStorage` attached, every job's
+  study is checkpointed into SQLite as it runs, so a restarted server can
+  list stored studies and :meth:`resume` them with only the remaining
+  trial budget.
+
+Each job gets its own RNG stream derived from its job id (unless the caller
+passes ``rng=`` explicitly), so concurrently submitted jobs never explore
+identical trial sequences.
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
+import threading
+import uuid
+import warnings
+import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.automl.algorithms.base import SearchAlgorithm
-from repro.automl.executors import TrialExecutor, make_executor
+from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.executors import EXECUTOR_BACKENDS, TrialExecutor, make_executor
 from repro.automl.pruners import Pruner
+from repro.automl.scheduler import SchedulerLike, make_scheduler
 from repro.automl.search_space import SearchSpace
+from repro.automl.storage import StudyStorage
 from repro.automl.study import Study, StudyConfig
-from repro.automl.trial import Trial
+from repro.automl.trial import Trial, TrialState
 from repro.exceptions import TrialError
 from repro.utils.rng import new_rng
 
-__all__ = ["TuneJob", "AntTuneServer", "AntTuneClient"]
+__all__ = ["JobState", "TuneJob", "AntTuneServer", "AntTuneClient"]
 
 Objective = Callable[[Trial], float]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one submitted tuning job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+def _job_seed(job_id: int) -> int:
+    """A distinct, process-independent seed per job id (CRC32, not hash())."""
+    return zlib.crc32(f"anttune-job-{job_id}".encode("utf-8"))
 
 
 @dataclass
@@ -40,7 +76,16 @@ class TuneJob:
     study: Study
     objective: Objective
     workers: List[str] = field(default_factory=lambda: ["worker-0"])
-    finished: bool = False
+    study_name: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    state: JobState = JobState.QUEUED
+    error: Optional[str] = None
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False, compare=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.COMPLETED, JobState.FAILED)
 
     @property
     def best_trial(self) -> Trial:
@@ -48,84 +93,343 @@ class TuneJob:
 
 
 class AntTuneServer:
-    """Holds jobs, generates trials and dispatches them to a worker pool."""
+    """Non-blocking multi-job tune service on a shared worker pool.
 
-    def __init__(self, num_workers: int = 4) -> None:
+    ``num_workers`` sizes the trial executor shared by every job;
+    ``max_concurrent_jobs`` bounds how many jobs' studies advance at once.
+    ``backend``/``scheduler`` select the executor backend and the trial
+    scheduling discipline for all jobs (see :func:`make_executor` and
+    :mod:`repro.automl.scheduler`).  ``storage`` (a :class:`StudyStorage` or a
+    path to a SQLite file) enables persistence and :meth:`resume`.
+    """
+
+    def __init__(self, num_workers: int = 4, max_concurrent_jobs: int = 2,
+                 backend: str = "auto", scheduler: SchedulerLike = None,
+                 base_seed: int = 0,
+                 storage: Union[None, str, StudyStorage] = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(f"unknown executor backend {backend!r}; "
+                             f"expected one of {EXECUTOR_BACKENDS}")
+        make_scheduler(scheduler)  # fail fast on a typo, not in the dispatcher
         self.num_workers = num_workers
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.backend = backend
+        self.scheduler = scheduler
+        self.base_seed = base_seed
+        self.storage = (StudyStorage(storage) if isinstance(storage, str)
+                        else storage)
         self._jobs: Dict[int, TuneJob] = {}
+        self._jobs_lock = threading.Lock()
         self._next_job_id = itertools.count()
+        # Default study names embed a per-server-process nonce so a restarted
+        # server never silently upserts over studies a previous process
+        # persisted under the same job ids.
+        self._instance_id = uuid.uuid4().hex[:8]
         self._executor: Optional[TrialExecutor] = None
+        self._dispatcher: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        # Guards lazy construction of the shared pools: submit() can race from
+        # client threads, and the executor property from dispatcher threads.
+        self._init_lock = threading.Lock()
 
+    # ------------------------------------------------------------------ #
+    # Shared resources (lazy)
+    # ------------------------------------------------------------------ #
     @property
     def executor(self) -> TrialExecutor:
         """The worker pool shared by every job on this server (lazy)."""
-        if self._executor is None:
-            self._executor = make_executor(self.num_workers)
-        return self._executor
+        with self._init_lock:
+            if self._executor is None:
+                if self._closed:
+                    # Never rebuild a pool behind shutdown()'s back — that
+                    # would leak worker threads/processes nothing releases.
+                    raise TrialError("server has been shut down")
+                self._executor = make_executor(self.num_workers,
+                                               backend=self.backend,
+                                               base_seed=self.base_seed)
+            return self._executor
 
+    def _ensure_dispatcher(self) -> ThreadPoolExecutor:
+        with self._init_lock:
+            if self._dispatcher is None:
+                if self._closed:
+                    raise TrialError("server has been shut down")
+                self._dispatcher = ThreadPoolExecutor(
+                    max_workers=self.max_concurrent_jobs,
+                    thread_name_prefix="anttune-dispatch")
+            return self._dispatcher
+
+    # ------------------------------------------------------------------ #
+    # Job submission and execution
+    # ------------------------------------------------------------------ #
     def submit(self, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
                config: Optional[StudyConfig] = None,
                pruner: Optional[Pruner] = None,
-               rng: Optional[np.random.Generator] = None) -> int:
-        """Register a new tuning job and return its id."""
-        study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
-                      rng=new_rng(rng if rng is not None else 0))
+               rng: Optional[np.random.Generator] = None,
+               study_name: Optional[str] = None,
+               checkpoint_path: Optional[str] = None) -> int:
+        """Enqueue a new tuning job and return its id immediately.
+
+        The job starts as soon as a dispatcher slot frees up; use
+        :meth:`poll`/:meth:`wait` to follow it.  Without an explicit ``rng``
+        the study seeds from the job id, so concurrent jobs explore distinct
+        trial sequences.
+        """
         job_id = next(self._next_job_id)
+        study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
+                      rng=new_rng(rng if rng is not None else _job_seed(job_id)))
+        return self._enqueue(job_id, study, objective, study_name, checkpoint_path)
+
+    def resume(self, study_name: str, space: SearchSpace, objective: Objective,
+               algorithm: Optional[SearchAlgorithm] = None,
+               pruner: Optional[Pruner] = None) -> int:
+        """Reload a persisted study from storage and enqueue its remainder.
+
+        The study resumes with only the trial budget it had left when last
+        checkpointed; v2 checkpoints also restore the algorithm/RNG state so
+        the continuation replays as if never interrupted.
+        """
+        if self.storage is None:
+            raise TrialError("server has no storage attached; pass storage= "
+                             "to AntTuneServer to enable resume()")
+        study = self.storage.load_study(study_name, space, algorithm=algorithm,
+                                        pruner=pruner)
+        job_id = next(self._next_job_id)
+        return self._enqueue(job_id, study, objective, study_name, None,
+                             allow_stored=True)
+
+    def _enqueue(self, job_id: int, study: Study, objective: Objective,
+                 study_name: Optional[str], checkpoint_path: Optional[str],
+                 allow_stored: bool = False) -> int:
         workers = [f"worker-{i}" for i in range(self.num_workers)]
-        self._jobs[job_id] = TuneJob(job_id=job_id, study=study, objective=objective,
-                                     workers=workers)
+        job = TuneJob(job_id=job_id, study=study, objective=objective,
+                      workers=workers,
+                      study_name=study_name or f"job-{job_id}-{self._instance_id}",
+                      checkpoint_path=checkpoint_path)
+        if (self.storage is not None and study_name is not None
+                and not allow_stored and self.storage.study_exists(study_name)):
+            # A plain submit must not upsert over a persisted study's history;
+            # that path is reserved for resume() (or after delete_study()).
+            raise TrialError(
+                f"study {study_name!r} already exists in storage; use "
+                f"resume() to continue it or delete_study() to discard it")
+        # Acquire the dispatcher *before* registering or persisting anything:
+        # a shut-down server must refuse cleanly, not leave a zombie QUEUED
+        # job whose _done event never fires.
+        dispatcher = self._ensure_dispatcher()
+        with self._jobs_lock:
+            for other in self._jobs.values():
+                if other.study_name == job.study_name and not other.finished:
+                    raise TrialError(
+                        f"study name {job.study_name!r} is already in use by "
+                        f"active job {other.job_id}; pick a unique study_name")
+            self._jobs[job_id] = job
+        if self.storage is not None:
+            try:
+                self.storage.save_study(job.study_name, study,
+                                        status=JobState.QUEUED.value)
+            except Exception:  # dying storage: no zombie QUEUED job may stay
+                # registered whose _done event would never fire.
+                with self._jobs_lock:
+                    self._jobs.pop(job_id, None)
+                raise
+        try:
+            dispatcher.submit(self._run_job, job)
+        except RuntimeError as exc:  # shutdown() raced us: undo registration
+            with self._jobs_lock:
+                self._jobs.pop(job_id, None)
+            if self.storage is not None:
+                try:
+                    self.storage.delete_study(job.study_name)
+                except TrialError:
+                    pass
+            raise TrialError("server has been shut down") from exc
         return job_id
 
-    def run(self, job_id: int, checkpoint_path: Optional[str] = None) -> Trial:
-        """Execute all trials of a job on the server's worker pool.
-
-        Batches of up to ``num_workers`` trials run concurrently; each trial
-        is attributed round-robin to one of the job's named workers.
-        """
-        job = self._get(job_id)
+    def _run_job(self, job: TuneJob) -> None:
+        """Dispatcher-side job body: run the study, never kill the dispatcher."""
+        job.state = JobState.RUNNING
+        checkpoint_fn = None
+        if self.storage is not None:
+            storage, name, study = self.storage, job.study_name, job.study
+            checkpoint_fn = lambda: storage.save_study(name, study,
+                                                       status=JobState.RUNNING.value)
         try:
             job.study.optimize(job.objective, executor=self.executor,
+                               scheduler=self.scheduler,
                                worker_names=job.workers,
-                               checkpoint_path=checkpoint_path)
+                               checkpoint_path=job.checkpoint_path,
+                               checkpoint_fn=checkpoint_fn)
+            job.state = JobState.COMPLETED
+        except TrialError as exc:
+            job.state = JobState.FAILED
+            # Only the study's all-trials-failed outcome gets the classic
+            # label; other TrialErrors (e.g. a shut-down executor before any
+            # trial ran) must not masquerade as trial failures.
+            if job.study.trials and not completed_trials(job.study.trials):
+                job.error = f"every trial failed ({exc})"
+            else:
+                job.error = str(exc)
+        except BaseException as exc:  # noqa: BLE001 - a job must never take the
+            # dispatcher thread (and with it every queued job) down with it.
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if self.storage is not None:
+                try:
+                    self.storage.save_study(job.study_name, job.study,
+                                            status=job.state.value)
+                except Exception as exc:  # a dying storage must not leave the
+                    # job un-finished: wait() would block forever on _done.
+                    job.error = job.error or f"storage save failed: {exc}"
+            job._done.set()
+
+    # ------------------------------------------------------------------ #
+    # Client-facing queries
+    # ------------------------------------------------------------------ #
+    def poll(self, job_id: int) -> Dict[str, object]:
+        """A non-blocking snapshot of one job's progress."""
+        return self.status(job_id)
+
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> Trial:
+        """Block until a job finishes and return its best trial.
+
+        Raises :class:`TrialError` if the job failed, or if ``timeout``
+        (seconds) elapses first.
+        """
+        job = self._get(job_id)
+        if not job._done.wait(timeout):
+            raise TrialError(f"job {job_id} still running after {timeout}s")
+        if job.state is JobState.FAILED:
+            raise TrialError(f"job {job_id}: {job.error}")
+        try:
             return job.study.best_trial
         except TrialError as exc:
-            raise TrialError(f"job {job_id}: every trial failed") from exc
-        finally:
-            job.finished = True
+            # raise_on_all_failed=False lets a study complete with zero
+            # usable trials; surface that as this job's outcome, not as a
+            # bare best-trial lookup error.
+            raise TrialError(
+                f"job {job_id} completed without any successful trial "
+                f"(raise_on_all_failed=False)") from exc
+
+    def run(self, job_id: int, checkpoint_path: Optional[str] = None) -> Trial:
+        """Blocking convenience kept from the synchronous server: wait for a job.
+
+        The job was already started by :meth:`submit`, so ``checkpoint_path``
+        can only take effect if the dispatcher has not picked the job up yet —
+        pass it to :meth:`submit` instead; a warning is raised when it arrives
+        too late to apply.
+        """
+        job = self._get(job_id)
+        if checkpoint_path is not None:
+            if job.state is JobState.QUEUED:
+                job.checkpoint_path = checkpoint_path
+            else:
+                warnings.warn(
+                    f"job {job_id} is already {job.state.value}; checkpoint_path "
+                    "was ignored — pass it to submit() instead", RuntimeWarning,
+                    stacklevel=2)
+        return self.wait(job_id)
 
     def status(self, job_id: int) -> Dict[str, object]:
+        """Job state plus per-trial-state counts (consistent mid-run)."""
         job = self._get(job_id)
+        study = job.study
+        with study._lock:
+            trials = list(study.trials)
         states: Dict[str, int] = {}
-        for trial in job.study.trials:
+        best_value: Optional[float] = None
+        for trial in trials:
             states[trial.state.value] = states.get(trial.state.value, 0) + 1
+            # Only COMPLETED trials count: a TIMED_OUT trial may carry a value
+            # the job will never return through wait()/best_trial.
+            if trial.state is TrialState.COMPLETED and trial.value is not None:
+                if best_value is None or (trial.value > best_value
+                                          if study.config.maximize
+                                          else trial.value < best_value):
+                    best_value = trial.value
         return {
             "job_id": job_id,
+            "state": job.state.value,
             "finished": job.finished,
-            "num_trials": len(job.study.trials),
+            "error": job.error,
+            "num_trials": len(trials),
             "states": states,
+            "best_value": best_value,
             "workers": list(job.workers),
+            "study_name": job.study_name,
         }
 
-    def shutdown(self) -> None:
-        """Release the shared worker pool (idempotent; pool is rebuilt on use)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+    def jobs(self) -> List[Dict[str, object]]:
+        """Status snapshots of every job on this server, oldest first."""
+        with self._jobs_lock:
+            job_ids = sorted(self._jobs)
+        return [self.status(job_id) for job_id in job_ids]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the dispatcher and release the worker pool (idempotent).
+
+        With ``wait=True`` (default) queued and running jobs drain on the
+        existing pool first; the pool is released only afterwards, and no new
+        pool can be created once the server is closed.
+        """
+        with self._jobs_lock:
+            has_pending = any(not job.finished for job in self._jobs.values())
+        if has_pending:
+            try:
+                # Materialise the lazy pool before closing so draining jobs
+                # that haven't touched it yet don't hit the closed guard.
+                self.executor
+            except TrialError:
+                pass  # already closed by a concurrent/repeated shutdown
+        with self._init_lock:
+            self._closed = True
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=wait)
+        with self._init_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            # close(), not shutdown(): a job still draining (wait=False) must
+            # not silently rebuild the pool and leak its workers.
+            executor.close()
+
+    def __enter__(self) -> "AntTuneServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
 
     def _get(self, job_id: int) -> TuneJob:
-        if job_id not in self._jobs:
-            raise TrialError(f"unknown job id {job_id}")
-        return self._jobs[job_id]
+        with self._jobs_lock:
+            if job_id not in self._jobs:
+                raise TrialError(f"unknown job id {job_id}")
+            return self._jobs[job_id]
 
 
 class AntTuneClient:
-    """The SDK-side view: submit a space + objective, wait, fetch the best config."""
+    """The SDK-side view: submit a space + objective, poll or wait, fetch the best."""
 
     def __init__(self, server: Optional[AntTuneServer] = None) -> None:
         self.server = server or AntTuneServer()
+
+    def submit(self, space: SearchSpace, objective: Objective, **kwargs: object) -> int:
+        """Enqueue a job on the server and return its id (non-blocking)."""
+        return self.server.submit(space, objective, **kwargs)
+
+    def poll(self, job_id: int) -> Dict[str, object]:
+        return self.server.poll(job_id)
+
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> Trial:
+        return self.server.wait(job_id, timeout=timeout)
 
     def tune(self, space: SearchSpace, objective: Objective,
              algorithm: Optional[SearchAlgorithm] = None,
@@ -135,4 +439,4 @@ class AntTuneClient:
         """Submit a job, run it to completion and return the best trial."""
         job_id = self.server.submit(space, objective, algorithm=algorithm, config=config,
                                     pruner=pruner, rng=rng)
-        return self.server.run(job_id)
+        return self.server.wait(job_id)

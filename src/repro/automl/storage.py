@@ -1,0 +1,220 @@
+"""SQLite-backed persistence for studies and trials.
+
+The paper's tune service is long-lived: studies survive server restarts and
+can be listed and resumed.  :class:`StudyStorage` provides that durability on
+a single SQLite file (stdlib ``sqlite3``, no extra dependency):
+
+* ``studies`` holds one row per study — its name, algorithm, lifecycle status
+  and the full checkpoint-v2 payload (:meth:`repro.automl.study.Study.state_payload`)
+  minus the trial history,
+* ``trials`` holds one row per trial, normalised so completed work can be
+  queried (best value, state counts) without deserialising whole studies.
+
+Writes are transactional and serialised under an internal lock, so the tune
+server's concurrent job dispatcher threads can checkpoint different studies
+into the same storage.  A study reloaded via :meth:`load_study` in a fresh
+process resumes with only its remaining trial budget.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automl.algorithms.base import SearchAlgorithm
+from repro.automl.pruners import Pruner
+from repro.automl.search_space import SearchSpace
+from repro.automl.study import Study, StudyConfig
+from repro.exceptions import TrialError
+from repro.utils.rng import new_rng
+from repro.utils.serialization import json_default
+
+__all__ = ["StudyStorage"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS studies (
+    name        TEXT PRIMARY KEY,
+    algorithm   TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'running',
+    maximize    INTEGER NOT NULL DEFAULT 1,
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS trials (
+    study_name       TEXT NOT NULL,
+    trial_id         INTEGER NOT NULL,
+    state            TEXT NOT NULL,
+    value            REAL,
+    duration_seconds REAL,
+    worker           TEXT,
+    error            TEXT,
+    record           TEXT NOT NULL,
+    PRIMARY KEY (study_name, trial_id)
+);
+"""
+
+
+class StudyStorage:
+    """Persist studies/trials in a SQLite database (one file = one service)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = str(path)
+        # One shared connection guarded by a lock: the server checkpoints
+        # studies from its dispatcher threads, not just the creating thread.
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        # Last-persisted trial state per study, so frequent checkpoints don't
+        # re-read the full trial table to find what changed.
+        self._persisted: Dict[str, Dict[int, str]] = {}
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def save_study(self, name: str, study: Study, status: str = "running") -> None:
+        """Upsert the study row and its trial rows (one transaction).
+
+        Trial rows are written incrementally: a record is (re)written only if
+        its state differs from the stored row, so frequent checkpoints (the
+        async scheduler saves after every trial) stay proportional to the new
+        work, not the full history.
+        """
+        payload = study.state_payload()
+        trials = payload.pop("trials")
+        payload_json = json.dumps(payload, sort_keys=True, default=json_default)
+        now = time.time()
+        maximize = 1 if payload["config"].get("maximize", True) else 0
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO studies (name, algorithm, status, maximize, payload, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET "
+                "algorithm=excluded.algorithm, status=excluded.status, "
+                "maximize=excluded.maximize, payload=excluded.payload, "
+                "updated_at=excluded.updated_at",
+                (name, str(payload["algorithm"]), status, maximize, payload_json,
+                 now, now))
+            existing = self._persisted.get(name)
+            if existing is None:  # first save through this instance
+                existing = dict(self._conn.execute(
+                    "SELECT trial_id, state FROM trials WHERE study_name = ?",
+                    (name,)).fetchall())
+            changed = [record for record in trials
+                       if existing.get(record["trial_id"]) != record["state"]]
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO trials (study_name, trial_id, state, "
+                "value, duration_seconds, worker, error, record) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [(name, record["trial_id"], record["state"], record["value"],
+                  record["duration_seconds"], record["worker"], record["error"],
+                  json.dumps(record, sort_keys=True, default=json_default))
+                 for record in changed])
+            # Rows no longer in the history (in-flight trials dropped by a
+            # resume) must not linger as zombies.
+            stale = set(existing) - {record["trial_id"] for record in trials}
+            self._conn.executemany(
+                "DELETE FROM trials WHERE study_name = ? AND trial_id = ?",
+                [(name, trial_id) for trial_id in stale])
+            self._conn.commit()
+            self._persisted[name] = {record["trial_id"]: record["state"]
+                                     for record in trials}
+
+    def set_status(self, name: str, status: str) -> None:
+        with self._lock:
+            updated = self._conn.execute(
+                "UPDATE studies SET status = ?, updated_at = ? WHERE name = ?",
+                (status, time.time(), name)).rowcount
+            self._conn.commit()
+        if not updated:
+            raise TrialError(f"unknown study {name!r}")
+
+    def delete_study(self, name: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM trials WHERE study_name = ?", (name,))
+            deleted = self._conn.execute(
+                "DELETE FROM studies WHERE name = ?", (name,)).rowcount
+            self._conn.commit()
+            self._persisted.pop(name, None)
+        if not deleted:
+            raise TrialError(f"unknown study {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def list_studies(self) -> List[Dict[str, object]]:
+        """Summaries of every stored study (no payload deserialisation).
+
+        ``best_value`` honours the study's optimisation direction: the max
+        completed value for maximize studies, the min for minimize ones.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT s.name, s.algorithm, s.status, s.maximize, "
+                "       s.created_at, s.updated_at, "
+                "       COUNT(t.trial_id) AS num_trials, "
+                "       SUM(CASE WHEN t.state = 'completed' THEN 1 ELSE 0 END) AS completed, "
+                "       CASE WHEN s.maximize "
+                "            THEN MAX(CASE WHEN t.state = 'completed' THEN t.value END) "
+                "            ELSE MIN(CASE WHEN t.state = 'completed' THEN t.value END) "
+                "       END AS best_value "
+                "FROM studies s LEFT JOIN trials t ON t.study_name = s.name "
+                "GROUP BY s.name ORDER BY s.created_at").fetchall()
+        return [dict(row, maximize=bool(row["maximize"])) for row in rows]
+
+    def study_exists(self, name: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM studies WHERE name = ?", (name,)).fetchone()
+        return row is not None
+
+    def load_payload(self, name: str) -> Dict[str, object]:
+        """The raw checkpoint payload of a stored study (trials re-attached)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM studies WHERE name = ?", (name,)).fetchone()
+            if row is None:
+                raise TrialError(f"unknown study {name!r}")
+            trial_rows = self._conn.execute(
+                "SELECT record FROM trials WHERE study_name = ? ORDER BY trial_id",
+                (name,)).fetchall()
+        payload = json.loads(row["payload"])
+        payload["trials"] = [json.loads(r["record"]) for r in trial_rows]
+        return payload
+
+    def load_study(self, name: str, space: SearchSpace,
+                   algorithm: Optional[SearchAlgorithm] = None,
+                   pruner: Optional[Pruner] = None,
+                   rng: Optional[np.random.Generator] = None) -> Study:
+        """Rebuild a stored study so the next ``optimize`` runs the remainder.
+
+        ``space`` (and a matching ``algorithm``/``pruner``, when the original
+        run used non-defaults) must be supplied by the caller — code is not
+        persisted, only state.
+        """
+        payload = self.load_payload(name)
+        config = StudyConfig(**payload["config"])
+        study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
+                      rng=new_rng(rng if rng is not None else 0))
+        return study.load_state_payload(payload)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "StudyStorage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -10,18 +10,25 @@ The systematic features described in the paper are modelled explicitly:
   configurable number of times without aborting the study),
 * parallel trial execution on a worker pool (``optimize(..., n_workers=4)``),
   mirroring the paper's dispatch of trials to distributed executors,
-* JSON checkpointing so an interrupted study can resume where it stopped.
+* JSON checkpointing so an interrupted study can resume where it stopped —
+  version 2 checkpoints capture the algorithm's and study's RNG state, so a
+  resumed study replays *identically* to an uninterrupted one.
 
-Parallel runs are round-based: up to ``n_workers`` configurations are asked
-from the algorithm, evaluated concurrently, then told back in submission
-order under a lock.  Because ask/tell stay serialised, every sequential
-algorithm works unchanged and a fixed seed gives a deterministic trial set.
+Parallel runs default to round-based scheduling: up to ``n_workers``
+configurations are asked from the algorithm, evaluated concurrently, then
+told back in submission order under a lock.  Because ask/tell stay
+serialised, every sequential algorithm works unchanged and a fixed seed
+gives a deterministic trial set.  ``scheduler="async"`` switches to the
+slot-refill :class:`~repro.automl.scheduler.AsyncScheduler`, which keeps all
+workers busy past stragglers at the cost of run-to-run reproducibility of
+the trial sequence.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -29,8 +36,14 @@ import numpy as np
 
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.algorithms.racos import RACOS
-from repro.automl.executors import TrialExecutor, execute_trial, make_executor
+from repro.automl.executors import (
+    ProcessPoolTrialExecutor,
+    TrialExecutor,
+    execute_trial,
+    make_executor,
+)
 from repro.automl.pruners import NoPruner, Pruner
+from repro.automl.scheduler import SchedulerLike, make_scheduler
 from repro.automl.search_space import SearchSpace
 from repro.automl.trial import Trial, TrialState
 from repro.exceptions import TrialError
@@ -41,7 +54,9 @@ __all__ = ["StudyConfig", "Study", "CHECKPOINT_VERSION"]
 
 Objective = Callable[[Trial], float]
 
-CHECKPOINT_VERSION = 1
+# v1: config, budget and trial history only.
+# v2: + algorithm internal state and RNG streams for bit-identical resume.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -83,6 +98,9 @@ class Study:
         # study only runs the remainder; retries do not consume extra slots.
         self._budget_used = 0
         self._resume_offset = 0
+        # Monotonic id source: len(self.trials) would collide after a resume
+        # drops in-flight trials out of the middle of the history.
+        self._next_trial_id = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -111,34 +129,61 @@ class Study:
     # ------------------------------------------------------------------ #
     def optimize(self, objective: Objective, worker_name: str = "worker-0", *,
                  n_workers: int = 1, executor: Optional[TrialExecutor] = None,
+                 backend: str = "auto", base_seed: int = 0,
+                 scheduler: SchedulerLike = None,
                  worker_names: Optional[Sequence[str]] = None,
-                 checkpoint_path: Optional[str] = None) -> Optional[Trial]:
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_fn: Optional[Callable[[], None]] = None) -> Optional[Trial]:
         """Run the configured number of trials and return the best one.
 
-        With ``n_workers=1`` (and no explicit ``executor``) trials run inline
-        on the calling thread, exactly as the historical sequential loop did.
-        Otherwise batches of up to ``n_workers`` trials are evaluated
-        concurrently on a thread pool; ask/tell remain serialised so results
-        are deterministic for a fixed seed and deterministic objective.
+        With ``n_workers=1`` (and no explicit ``executor``, ``backend`` or
+        ``scheduler``) trials run inline on the calling thread, exactly as the
+        historical sequential loop did.  Otherwise trials are evaluated
+        concurrently on a worker pool (``backend``: ``"thread"`` or
+        ``"process"``, with ``base_seed`` feeding the process workers' RNG
+        streams; see :func:`repro.automl.executors.make_executor`),
+        driven by the requested scheduler: ``"round"`` (deterministic batches,
+        the default) or ``"async"`` (slot refill — stragglers don't idle the
+        other workers).  ask/tell remain serialised in both modes.
 
         ``checkpoint_path`` saves the study state as JSON after every trial
-        (sequential) or batch (parallel); see :meth:`restore_checkpoint`.
-        Returns ``None`` when no trial completed and ``raise_on_all_failed``
-        is False (e.g. every trial failed or was pruned).
+        (sequential) or scheduling step (parallel); ``checkpoint_fn`` is an
+        arbitrary callback invoked at the same points (e.g. persisting into a
+        :class:`~repro.automl.storage.StudyStorage`).  See
+        :meth:`restore_checkpoint`.  Returns ``None`` when no trial completed
+        and ``raise_on_all_failed`` is False.
         """
         remaining = max(0, self.config.n_trials - self._resume_offset)
         self._budget_used, self._resume_offset = self._resume_offset, 0
-        if executor is None and n_workers == 1:
-            self._run_sequential(objective, worker_name, remaining, checkpoint_path)
+        checkpoint_cb = self._checkpoint_callback(checkpoint_path, checkpoint_fn)
+        sequential = (executor is None and n_workers == 1
+                      and backend in ("auto", "sync") and scheduler is None)
+        if sequential:
+            self._run_sequential(objective, worker_name, remaining, checkpoint_cb)
         else:
             self._run_parallel(objective, remaining, n_workers=n_workers,
-                               executor=executor, worker_names=worker_names,
-                               checkpoint_path=checkpoint_path)
+                               executor=executor, backend=backend,
+                               base_seed=base_seed, scheduler=scheduler,
+                               worker_names=worker_names,
+                               checkpoint_fn=checkpoint_cb)
         if not completed_trials(self.trials):
             if self.config.raise_on_all_failed:
                 raise TrialError("every trial in the study failed")
             return None
         return self.best_trial
+
+    def _checkpoint_callback(self, checkpoint_path: Optional[str],
+                             checkpoint_fn: Optional[Callable[[], None]]
+                             ) -> Optional[Callable[[], None]]:
+        if checkpoint_path is None and checkpoint_fn is None:
+            return None
+
+        def _checkpoint() -> None:
+            if checkpoint_path is not None:
+                self.save_checkpoint(checkpoint_path)
+            if checkpoint_fn is not None:
+                checkpoint_fn()
+        return _checkpoint
 
     def tell(self, trial: Trial) -> None:
         """Feed a finished trial back into the algorithm (thread-safe)."""
@@ -146,7 +191,8 @@ class Study:
             self.algorithm.tell(trial)
 
     def _run_sequential(self, objective: Objective, worker_name: str,
-                        remaining: int, checkpoint_path: Optional[str]) -> None:
+                        remaining: int,
+                        checkpoint_fn: Optional[Callable[[], None]]) -> None:
         start_time = time.perf_counter()
         for _ in range(remaining):
             if self._total_time_exceeded(start_time):
@@ -158,48 +204,35 @@ class Study:
                 retries += 1
                 trial = self._run_single(objective, dict(params), worker_name)
             self._budget_used += 1
-            if checkpoint_path is not None:
-                self.save_checkpoint(checkpoint_path)
+            if checkpoint_fn is not None:
+                checkpoint_fn()
 
     def _run_parallel(self, objective: Objective, remaining: int, *, n_workers: int,
-                      executor: Optional[TrialExecutor],
+                      executor: Optional[TrialExecutor], backend: str,
+                      base_seed: int, scheduler: SchedulerLike,
                       worker_names: Optional[Sequence[str]],
-                      checkpoint_path: Optional[str]) -> None:
+                      checkpoint_fn: Optional[Callable[[], None]]) -> None:
         owns_executor = executor is None
-        executor = executor if executor is not None else make_executor(n_workers)
+        executor = executor if executor is not None else make_executor(
+            n_workers, backend=backend, base_seed=base_seed)
+        if (isinstance(executor, ProcessPoolTrialExecutor)
+                and not isinstance(self.pruner, NoPruner)):
+            warnings.warn(
+                "pruners cannot act inside process-pool workers: the remote "
+                "trial has no pruner attached, so trial.should_prune() always "
+                "returns False there", RuntimeWarning, stacklevel=3)
         names = list(worker_names) if worker_names else [
             f"worker-{i}" for i in range(executor.n_workers)]
-        start_time = time.perf_counter()
         try:
-            while remaining > 0 and not self._total_time_exceeded(start_time):
-                batch_size = min(executor.n_workers, remaining)
-                with self._lock:
-                    asked = [self.algorithm.ask(self.space, self.trials, self.config.maximize)
-                             for _ in range(batch_size)]
-                pending = [(params, 0) for params in asked]
-                while pending:
-                    batch: List[Trial] = []
-                    with self._lock:
-                        for params, _ in pending:
-                            batch.append(self._new_trial(
-                                dict(params), names[len(self.trials) % len(names)]))
-                    executor.run_batch(objective, batch, self.config.trial_time_limit)
-                    for trial in batch:
-                        self.tell(trial)
-                    pending = [(params, retries + 1)
-                               for (params, retries), trial in zip(pending, batch)
-                               if trial.state == TrialState.FAILED
-                               and retries < self.config.max_retries]
-                self._budget_used += batch_size
-                remaining -= batch_size
-                if checkpoint_path is not None:
-                    self.save_checkpoint(checkpoint_path)
+            make_scheduler(scheduler).run(self, objective, executor, remaining,
+                                          names, checkpoint_fn)
         finally:
             if owns_executor:
                 executor.shutdown()
 
     def _new_trial(self, params: Dict[str, object], worker: str) -> Trial:
-        trial = Trial(trial_id=len(self.trials), params=params, worker=worker)
+        trial = Trial(trial_id=self._next_trial_id, params=params, worker=worker)
+        self._next_trial_id += 1
         trial._prune_check = lambda t: self.pruner.should_prune(t, self.trials, self.config.maximize)
         trial.state = TrialState.RUNNING
         self.trials.append(trial)
@@ -218,29 +251,41 @@ class Study:
     # ------------------------------------------------------------------ #
     # Checkpoint / resume
     # ------------------------------------------------------------------ #
-    def save_checkpoint(self, path: str) -> None:
-        """Write the study state (config, budget, trial history) as JSON."""
+    def state_payload(self) -> Dict[str, object]:
+        """The full JSON-serialisable study state (checkpoint v2 format).
+
+        Besides the config, budget and trial history (v1), the payload carries
+        the algorithm's internal state and the study RNG stream so a resumed
+        study asks exactly the configurations an uninterrupted run would have.
+        """
         with self._lock:
-            payload = {
+            return {
                 "version": CHECKPOINT_VERSION,
                 "algorithm": self.algorithm.name,
+                "algorithm_state": self.algorithm.get_state(),
+                "rng_state": self._rng.bit_generator.state,
                 "config": asdict(self.config),
                 "budget_used": self._budget_used,
                 "trials": [t.as_record() for t in self.trials],
             }
-        save_json(path, payload)
 
-    def restore_checkpoint(self, path: str) -> "Study":
-        """Load a checkpoint written by :meth:`save_checkpoint` into this study.
+    def load_state_payload(self, payload: Dict[str, object]) -> "Study":
+        """Restore state produced by :meth:`state_payload` into this study.
 
         The study must be freshly constructed with the same space, algorithm
         and config as the original run.  The trial history is rebuilt, finished
         trials are re-told to the algorithm, and the next :meth:`optimize`
-        call runs only the remaining trial budget.
+        call runs only the remaining trial budget.  Version 1 payloads (no
+        algorithm/RNG state) are accepted and migrated: history and budget are
+        restored, and the algorithm continues from its fresh-seeded state.
+
+        Trials that were still in flight when the payload was captured (the
+        async scheduler checkpoints while other slots keep running) carry no
+        result and consumed no budget: they are dropped rather than kept as
+        zombie RUNNING entries, and their slots re-run on resume.
         """
-        payload = load_json(path)
         version = payload.get("version")
-        if version != CHECKPOINT_VERSION:
+        if version not in (1, CHECKPOINT_VERSION):
             raise TrialError(f"unsupported study checkpoint version: {version!r}")
         saved_algorithm = payload.get("algorithm")
         if saved_algorithm != self.algorithm.name:
@@ -249,12 +294,34 @@ class Study:
                 f"study uses {self.algorithm.name!r}")
         with self._lock:
             self.config = StudyConfig(**payload["config"])
-            self.trials = [self._trial_from_record(r) for r in payload["trials"]]
+            self.trials = [trial
+                           for trial in (self._trial_from_record(r)
+                                         for r in payload["trials"])
+                           if trial.is_finished]
+            self._next_trial_id = 1 + max(
+                (t.trial_id for t in self.trials), default=-1)
             self._resume_offset = int(payload["budget_used"])
             for trial in self.trials:
                 if trial.is_finished:
                     self.algorithm.tell(trial)
+            # v2: saved state wins over whatever re-telling mutated — it was
+            # captured *after* those tells in the original run.
+            if version >= 2:
+                rng_state = payload.get("rng_state")
+                if rng_state is not None:
+                    self._rng.bit_generator.state = rng_state
+                algorithm_state = payload.get("algorithm_state")
+                if algorithm_state is not None:
+                    self.algorithm.set_state(algorithm_state)
         return self
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write the study state (config, budget, history, RNG state) as JSON."""
+        save_json(path, self.state_payload())
+
+    def restore_checkpoint(self, path: str) -> "Study":
+        """Load a checkpoint written by :meth:`save_checkpoint` into this study."""
+        return self.load_state_payload(load_json(path))
 
     def _trial_from_record(self, record: Dict[str, object]) -> Trial:
         trial = Trial(trial_id=int(record["trial_id"]), params=dict(record["params"]),

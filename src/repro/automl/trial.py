@@ -56,6 +56,10 @@ class Trial:
     duration_seconds: float = 0.0
     error: Optional[str] = None
     worker: Optional[str] = None
+    # perf_counter timestamp of when the objective actually began executing
+    # (None while queued) — deadline enforcement measures from here so queue
+    # wait behind other work doesn't count against the trial's time limit.
+    started_at: Optional[float] = field(default=None, repr=False, compare=False)
 
     # The study wires this to its pruner; objectives call trial.report(...)
     # and trial.should_prune() to cooperate with early stopping.

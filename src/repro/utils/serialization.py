@@ -21,13 +21,18 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-__all__ = ["save_state", "load_state", "save_json", "load_json"]
+__all__ = ["save_state", "load_state", "save_json", "load_json", "json_default"]
 
 PathLike = Union[str, Path]
 
 
-def _json_default(obj: object) -> object:
-    """Coerce numpy scalars and arrays to JSON-native Python values."""
+def json_default(obj: object) -> object:
+    """Coerce numpy scalars and arrays to JSON-native Python values.
+
+    Pass as ``json.dumps(..., default=json_default)`` anywhere sampled
+    hyper-parameters or RNG states may carry numpy types (file checkpoints
+    and the SQLite study store share this coercion).
+    """
     if isinstance(obj, np.generic):
         return obj.item()
     if isinstance(obj, np.ndarray):
@@ -41,7 +46,7 @@ def save_json(path: PathLike, payload: Dict[str, object]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp_path = path.with_name(path.name + ".tmp")
     tmp_path.write_text(json.dumps(payload, indent=2, sort_keys=True,
-                                   default=_json_default))
+                                   default=json_default))
     os.replace(tmp_path, path)
     return path
 

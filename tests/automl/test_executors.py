@@ -10,12 +10,14 @@ import pytest
 
 from repro.automl import (
     RACOS,
+    ProcessPoolTrialExecutor,
     RandomSearch,
     Study,
     StudyConfig,
     SynchronousExecutor,
     ThreadPoolTrialExecutor,
     make_executor,
+    worker_rng,
 )
 from repro.automl.search_space import SearchSpace, Uniform
 from repro.automl.trial import Trial, TrialState
@@ -31,12 +33,37 @@ def _study(space, algorithm_cls=RandomSearch, seed=0, **config):
                  config=StudyConfig(**config), rng=np.random.default_rng(seed))
 
 
+# Module-level objectives: the process backend requires picklable callables.
+def _picklable_objective(trial):
+    return trial.params["x"]
+
+
+def _picklable_rng_objective(trial):
+    return float(worker_rng().random())
+
+
+def _picklable_failing_objective(trial):
+    raise RuntimeError("boom in a worker process")
+
+
 class TestExecutors:
     def test_make_executor_picks_cheapest(self):
         assert isinstance(make_executor(1), SynchronousExecutor)
         assert isinstance(make_executor(4), ThreadPoolTrialExecutor)
         with pytest.raises(ValueError):
             make_executor(0)
+
+    def test_make_executor_backends(self):
+        assert isinstance(make_executor(4, backend="sync"), SynchronousExecutor)
+        assert isinstance(make_executor(1, backend="thread"), ThreadPoolTrialExecutor)
+        process = make_executor(2, backend="process", base_seed=7)
+        try:
+            assert isinstance(process, ProcessPoolTrialExecutor)
+            assert process.base_seed == 7
+        finally:
+            process.shutdown()
+        with pytest.raises(ValueError):
+            make_executor(2, backend="fibers")
 
     def test_thread_pool_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
@@ -92,6 +119,81 @@ class TestExecutors:
         executor.run_batch(lambda t: t.params["x"], trials[:1])
         executor.shutdown()  # worker death: the pool is gone
         executor.run_batch(lambda t: t.params["x"], trials[1:])
+        assert all(t.state == TrialState.COMPLETED for t in trials)
+        executor.shutdown()
+
+
+class TestProcessPool:
+    def test_process_pool_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessPoolTrialExecutor(0)
+
+    def test_study_runs_on_process_backend(self, space):
+        study = _study(space, n_trials=6)
+        best = study.optimize(_picklable_objective, n_workers=2, backend="process")
+        assert len(study.trials) == 6
+        assert all(t.state == TrialState.COMPLETED for t in study.trials)
+        assert best.value == study.best_value
+
+    def test_remote_failures_are_recorded_and_retried(self, space):
+        study = _study(space, n_trials=2, max_retries=1, raise_on_all_failed=False)
+        assert study.optimize(_picklable_failing_objective, n_workers=2,
+                              backend="process") is None
+        assert all(t.state == TrialState.FAILED for t in study.trials)
+        assert all("boom in a worker process" in t.error for t in study.trials)
+        assert len(study.trials) == 4  # each budget slot attempted twice
+
+    def test_unpicklable_objective_fails_gracefully(self, space):
+        study = _study(space, n_trials=2, max_retries=0, raise_on_all_failed=False)
+        # A lambda cannot be pickled into the worker: trials must be recorded
+        # as FAILED with the pickling error, never crash the study loop.
+        assert study.optimize(lambda t: t.params["x"], n_workers=2,
+                              backend="process") is None
+        assert all(t.state == TrialState.FAILED for t in study.trials)
+        assert all(t.error is not None for t in study.trials)
+
+    def test_worker_rng_produces_values_per_process(self, space):
+        study = _study(space, n_trials=4)
+        study.optimize(_picklable_rng_objective, n_workers=2, backend="process")
+        values = [t.value for t in study.trials]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) == len(values)  # streams advance, never repeat
+
+    def test_worker_rng_is_per_thread_on_thread_backend(self):
+        import threading
+
+        rngs = []
+        barrier = threading.Barrier(2, timeout=5.0)
+
+        def record():
+            barrier.wait()  # both threads alive at once: no ident reuse
+            rngs.append(worker_rng())
+
+        threads = [threading.Thread(target=record) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Two pool threads must never share a generator instance.
+        assert len(rngs) == 2
+        assert rngs[0] is not rngs[1]
+
+    def test_pruner_on_process_backend_warns(self, space):
+        from repro.automl import MedianPruner
+
+        study = Study(space, algorithm=RandomSearch(rng=np.random.default_rng(0)),
+                      config=StudyConfig(n_trials=2), pruner=MedianPruner(),
+                      rng=np.random.default_rng(0))
+        with pytest.warns(RuntimeWarning, match="process-pool workers"):
+            study.optimize(_picklable_objective, n_workers=2, backend="process")
+
+    def test_executor_survives_pool_shutdown(self, space):
+        executor = ProcessPoolTrialExecutor(2)
+        trials = [Trial(0, {"x": 0.5}, state=TrialState.RUNNING),
+                  Trial(1, {"x": 0.25}, state=TrialState.RUNNING)]
+        executor.run_batch(_picklable_objective, trials[:1])
+        executor.shutdown()  # worker death: the pool is gone
+        executor.run_batch(_picklable_objective, trials[1:])
         assert all(t.state == TrialState.COMPLETED for t in trials)
         executor.shutdown()
 
@@ -250,3 +352,97 @@ class TestCheckpointResume:
         resumed.restore_checkpoint(ckpt)
         resumed.optimize(lambda t: t.params["x"])
         assert len(resumed.trials) == 3
+
+
+class TestCheckpointV2:
+    @pytest.mark.parametrize("algorithm_cls", [RandomSearch, RACOS])
+    def test_resumed_study_replays_identically(self, space, tmp_path, algorithm_cls):
+        # The v2 format restores the algorithm/RNG internal state, so the
+        # resumed study asks exactly what an uninterrupted run would have.
+        full = _study(space, algorithm_cls, seed=5, n_trials=8)
+        full.optimize(lambda t: t.params["x"])
+
+        ckpt = str(tmp_path / "v2.json")
+        interrupted = _study(space, algorithm_cls, seed=5, n_trials=8)
+        calls = {"n": 0}
+
+        def dying(trial):
+            calls["n"] += 1
+            if calls["n"] > 4:
+                raise KeyboardInterrupt
+            return trial.params["x"]
+
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.optimize(dying, checkpoint_path=ckpt)
+
+        resumed = _study(space, algorithm_cls, seed=5, n_trials=8)
+        resumed.restore_checkpoint(ckpt)
+        resumed.optimize(lambda t: t.params["x"])
+        assert [t.params for t in resumed.trials] == [t.params for t in full.trials]
+        assert resumed.best_value == full.best_value
+
+    def test_grid_search_cursor_is_restored(self, space, tmp_path):
+        from repro.automl import GridSearch
+
+        def mk():
+            return Study(space, algorithm=GridSearch(resolution=4,
+                                                     rng=np.random.default_rng(0)),
+                         config=StudyConfig(n_trials=4),
+                         rng=np.random.default_rng(0))
+
+        full = mk()
+        full.optimize(lambda t: t.params["x"])
+
+        ckpt = str(tmp_path / "grid.json")
+        interrupted = mk()
+        calls = {"n": 0}
+
+        def dying(trial):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise KeyboardInterrupt
+            return trial.params["x"]
+
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.optimize(dying, checkpoint_path=ckpt)
+        resumed = mk()
+        resumed.restore_checkpoint(ckpt)
+        resumed.optimize(lambda t: t.params["x"])
+        # The grid walk continues where it stopped instead of restarting.
+        assert [t.params for t in resumed.trials] == [t.params for t in full.trials]
+
+    def test_v1_checkpoints_are_accepted_and_migrated(self, space, tmp_path):
+        from dataclasses import asdict
+
+        from repro.utils.serialization import save_json
+
+        study = _study(space, seed=6, n_trials=2)
+        study.optimize(lambda t: t.params["x"])
+        v1_payload = {
+            "version": 1,
+            "algorithm": study.algorithm.name,
+            "config": asdict(StudyConfig(n_trials=4)),
+            "budget_used": 2,
+            "trials": [t.as_record() for t in study.trials],
+        }
+        path = tmp_path / "v1.json"
+        save_json(path, v1_payload)
+
+        resumed = _study(space, seed=6, n_trials=4)
+        resumed.restore_checkpoint(str(path))
+        resumed.optimize(lambda t: t.params["x"])
+        # History kept, only the remaining budget ran; no state to restore.
+        assert len(resumed.trials) == 4
+        assert all(t.state == TrialState.COMPLETED for t in resumed.trials)
+
+    def test_checkpoint_version_is_2(self, space, tmp_path):
+        from repro.automl.study import CHECKPOINT_VERSION
+        from repro.utils.serialization import load_json
+
+        assert CHECKPOINT_VERSION == 2
+        ckpt = str(tmp_path / "v.json")
+        study = _study(space, seed=0, n_trials=2)
+        study.optimize(lambda t: t.params["x"], checkpoint_path=ckpt)
+        payload = load_json(ckpt)
+        assert payload["version"] == 2
+        assert "algorithm_state" in payload and "rng_state" in payload
