@@ -1,0 +1,101 @@
+"""Wasted trial-seconds with and without mid-trial pruning on stragglers.
+
+Before live trial telemetry, a process-backend straggler ran to completion
+(or to its deadline) no matter how hopeless its intermediate values looked —
+the pruner only ever saw them afterwards.  This benchmark runs the same
+straggler-heavy workload twice on the thread backend (identical telemetry
+path to the process backend, without paying worker spawn time in CI):
+
+* **no pruning** — every straggler runs all of its steps;
+* **MedianPruner over live telemetry** — the scheduler kills a straggler as
+  soon as its streamed reports fall below the completed median.
+
+The metric is *wasted trial-seconds*: time spent inside straggler objectives
+past their first report.  Telemetry-driven pruning must recover at least
+half of it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from common import save_result
+
+from repro.automl import MedianPruner, RandomSearch, Study, StudyConfig
+from repro.automl.search_space import SearchSpace, Uniform
+from repro.automl.trial import TrialState
+from repro.experiments import format_table
+
+N_WORKERS = 4
+N_TRIALS = 12
+STEPS = 24
+STEP_SLEEP = 0.03
+# Trials whose x falls below this threshold are stragglers: they report a
+# hopeless value every step and, unpruned, burn STEPS * STEP_SLEEP seconds.
+STRAGGLER_SHARE = 0.5
+
+
+def _objective(trial):
+    x = trial.params["x"]
+    if x >= STRAGGLER_SHARE:
+        # Healthy trial: strong, identical reports at every step (so the
+        # median reference exists at every depth) and a fast step time.
+        for _ in range(STEPS):
+            trial.report(1.0)
+            time.sleep(STEP_SLEEP / 6)
+        return 1.0 + x
+    for _ in range(STEPS):
+        trial.report(0.0)  # hopeless and honest about it; killable here
+        time.sleep(STEP_SLEEP)
+    return 0.0
+
+
+def _run(pruner):
+    space = SearchSpace({"x": Uniform(0.0, 1.0)})
+    study = Study(space, algorithm=RandomSearch(rng=np.random.default_rng(0)),
+                  config=StudyConfig(n_trials=N_TRIALS),
+                  pruner=pruner, rng=np.random.default_rng(0))
+    start = time.perf_counter()
+    study.optimize(_objective, n_workers=N_WORKERS, backend="thread",
+                   scheduler="async")
+    elapsed = time.perf_counter() - start
+    stragglers = [t for t in study.trials if t.params["x"] < STRAGGLER_SHARE]
+    straggler_seconds = sum(t.duration_seconds for t in stragglers)
+    pruned = sum(1 for t in study.trials if t.state == TrialState.PRUNED)
+    return elapsed, straggler_seconds, pruned, len(stragglers)
+
+
+def test_mid_trial_pruning_recovers_wasted_straggler_seconds():
+    baseline_elapsed, baseline_seconds, baseline_pruned, n_stragglers = _run(None)
+    pruner = MedianPruner(warmup_steps=0, min_trials=1)
+    pruned_elapsed, pruned_seconds, pruned_count, _ = _run(pruner)
+
+    assert baseline_pruned == 0
+    assert n_stragglers >= 2, "workload produced too few stragglers to measure"
+
+    saved = baseline_seconds - pruned_seconds
+    rows = [
+        {"configuration": "no pruning",
+         "wall_seconds": round(baseline_elapsed, 3),
+         "straggler_seconds": round(baseline_seconds, 3),
+         "pruned_trials": baseline_pruned},
+        {"configuration": "median pruner (live telemetry)",
+         "wall_seconds": round(pruned_elapsed, 3),
+         "straggler_seconds": round(pruned_seconds, 3),
+         "pruned_trials": pruned_count},
+        {"configuration": "saved",
+         "wall_seconds": round(baseline_elapsed - pruned_elapsed, 3),
+         "straggler_seconds": round(saved, 3),
+         "pruned_trials": ""},
+    ]
+    text = format_table(
+        rows, title=(f"{N_TRIALS} trials on {N_WORKERS} workers; stragglers "
+                     f"report 0.0 for {STEPS} steps x {STEP_SLEEP:.2f}s unless "
+                     f"pruned mid-run"))
+    save_result("pruning_savings", text)
+
+    assert pruned_count >= 1, "the median pruner never fired over telemetry"
+    assert pruned_seconds < baseline_seconds * 0.5, (
+        f"mid-trial pruning recovered too little: {pruned_seconds:.2f}s of "
+        f"straggler time vs {baseline_seconds:.2f}s unpruned")

@@ -20,7 +20,10 @@ from repro.automl.presets import apply_params_to_config, pre_designed_model_spac
 from repro.automl.pruners import MedianPruner, NoPruner, Pruner
 from repro.automl.scheduler import (
     AsyncScheduler,
+    FairShareGovernor,
+    GovernedExecutor,
     RoundScheduler,
+    TelemetryMonitor,
     TrialScheduler,
     make_scheduler,
 )
@@ -54,6 +57,9 @@ __all__ = [
     "RoundScheduler",
     "AsyncScheduler",
     "make_scheduler",
+    "TelemetryMonitor",
+    "FairShareGovernor",
+    "GovernedExecutor",
     "Pruner",
     "NoPruner",
     "MedianPruner",

@@ -1,0 +1,227 @@
+"""Command-line interface for inspecting and managing stored studies.
+
+The tune service persists its studies into a SQLite file
+(:class:`~repro.automl.storage.StudyStorage`); this module is the operator's
+view onto that file::
+
+    python -m repro.automl.cli --db anttune.db list
+    python -m repro.automl.cli --db anttune.db show my-study
+    python -m repro.automl.cli --db anttune.db resume my-study \
+        --space mypkg.search:SPACE --objective mypkg.search:objective
+    python -m repro.automl.cli --db anttune.db delete my-study --yes
+
+``list`` and ``show`` are read-only (WAL mode lets them run while a server
+checkpoints into the same file).  ``resume`` re-runs a study's remaining
+trial budget: because only *state* is persisted — never code — the search
+space and objective are imported from ``module:attribute`` references the
+caller provides.  ``delete`` drops a study and its trial rows after a
+confirmation prompt (``--yes`` skips it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.automl.storage import StudyStorage
+from repro.exceptions import TrialError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_object(spec: str) -> object:
+    """Import ``module:attribute`` (e.g. ``mypkg.search:objective``).
+
+    Args:
+        spec: dotted module path and attribute name joined by ``:``.
+
+    Returns:
+        The imported attribute.
+
+    Raises:
+        SystemExit: malformed spec, unimportable module or missing attribute
+            (argparse-style exit code 2).
+    """
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise SystemExit(f"error: expected 'module:attribute', got {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"error: cannot import module {module_name!r}: {exc}")
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise SystemExit(
+            f"error: module {module_name!r} has no attribute {attr!r}")
+
+
+def _format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    return "  ".join(str(v).ljust(w) for v, w in zip(values, widths)).rstrip()
+
+
+def _print_table(headers: List[str], rows: List[List[object]],
+                 out: Callable[[str], None]) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    out(_format_row(headers, widths))
+    out(_format_row(["-" * w for w in widths], widths))
+    for row in rows:
+        out(_format_row(row, widths))
+
+
+def _cmd_list(storage: StudyStorage, args: argparse.Namespace,
+              out: Callable[[str], None]) -> int:
+    studies = storage.list_studies()
+    if not studies:
+        out("no studies stored")
+        return 0
+    rows = [[s["name"], s["algorithm"], s["status"],
+             s["num_trials"], s["completed"] or 0,
+             "-" if s["best_value"] is None else f"{s['best_value']:.6g}",
+             time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(s["updated_at"]))]
+            for s in studies]
+    _print_table(["name", "algorithm", "status", "trials", "completed",
+                  "best", "updated"], rows, out)
+    return 0
+
+
+def _cmd_show(storage: StudyStorage, args: argparse.Namespace,
+              out: Callable[[str], None]) -> int:
+    payload = storage.load_payload(args.name)
+    config = payload.get("config", {})
+    trials = payload.get("trials", [])
+    out(f"study:      {args.name}")
+    out(f"algorithm:  {payload.get('algorithm')}")
+    out(f"checkpoint: v{payload.get('version')}")
+    out(f"budget:     {payload.get('budget_used')}/{config.get('n_trials')} slots used")
+    out(f"maximize:   {config.get('maximize')}")
+    out("")
+    if not trials:
+        out("no trials recorded")
+        return 0
+    rows = [[t["trial_id"], t["state"],
+             "-" if t["value"] is None else f"{t['value']:.6g}",
+             f"{t.get('duration_seconds', 0.0):.3f}s",
+             len(t.get("intermediate_values", [])),
+             t.get("worker") or "-"]
+            for t in trials]
+    _print_table(["trial", "state", "value", "duration", "reports", "worker"],
+                 rows, out)
+    return 0
+
+
+def _cmd_resume(storage: StudyStorage, args: argparse.Namespace,
+                out: Callable[[str], None]) -> int:
+    space = _load_object(args.space)
+    objective = _load_object(args.objective)
+    algorithm = _load_object(args.algorithm) if args.algorithm else None
+    if isinstance(algorithm, type) or (
+            callable(algorithm) and not hasattr(algorithm, "ask")):
+        algorithm = algorithm()  # a class/factory reference, not an instance
+    study = storage.load_study(args.name, space, algorithm=algorithm)
+    remaining = study.config.n_trials - study._resume_offset
+    if remaining <= 0:
+        out(f"study {args.name!r} has no remaining trial budget")
+        storage.set_status(args.name, "completed")
+        return 0
+    out(f"resuming {args.name!r}: {remaining} of {study.config.n_trials} "
+        f"trial slots left")
+    checkpoint = lambda: storage.save_study(args.name, study, status="running")
+    try:
+        study.optimize(objective, n_workers=args.workers, backend=args.backend,
+                       checkpoint_fn=checkpoint)
+    except TrialError as exc:
+        storage.save_study(args.name, study, status="failed")
+        out(f"study failed: {exc}")
+        return 1
+    storage.save_study(args.name, study, status="completed")
+    best = study.best_trial
+    out(f"done: best value {best.value:.6g} from trial {best.trial_id} "
+        f"with params {best.params}")
+    return 0
+
+
+def _cmd_delete(storage: StudyStorage, args: argparse.Namespace,
+                out: Callable[[str], None]) -> int:
+    if not args.yes:
+        answer = input(f"delete study {args.name!r} and all its trials? [y/N] ")
+        if answer.strip().lower() not in ("y", "yes"):
+            out("aborted")
+            return 1
+    storage.delete_study(args.name)
+    out(f"deleted {args.name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.automl.cli`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.automl.cli",
+        description="Inspect and manage studies stored by the AntTune service.")
+    parser.add_argument("--db", default="anttune.db",
+                        help="path to the StudyStorage SQLite file "
+                             "(default: %(default)s)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="summarise every stored study")
+
+    show = sub.add_parser("show", help="per-trial detail of one study")
+    show.add_argument("name", help="study name")
+
+    resume = sub.add_parser(
+        "resume", help="re-run a study's remaining trial budget")
+    resume.add_argument("name", help="study name")
+    resume.add_argument("--space", required=True, metavar="MODULE:ATTR",
+                        help="import path of the SearchSpace the study used")
+    resume.add_argument("--objective", required=True, metavar="MODULE:ATTR",
+                        help="import path of the objective callable")
+    resume.add_argument("--algorithm", metavar="MODULE:ATTR",
+                        help="import path of the algorithm instance/factory "
+                             "(required when the study used a non-default one)")
+    resume.add_argument("--workers", type=int, default=1,
+                        help="worker pool size (default: %(default)s)")
+    resume.add_argument("--backend", default="auto",
+                        choices=("auto", "sync", "thread", "process"),
+                        help="executor backend (default: %(default)s)")
+
+    delete = sub.add_parser("delete", help="drop a study and its trial rows")
+    delete.add_argument("name", help="study name")
+    delete.add_argument("--yes", action="store_true",
+                        help="skip the confirmation prompt")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out: Callable[[str], None] = print) -> int:
+    """CLI entry point.
+
+    Args:
+        argv: argument list (defaults to ``sys.argv[1:]``).
+        out: line sink, injectable for tests.
+
+    Returns:
+        Process exit code (0 on success).
+    """
+    args = build_parser().parse_args(argv)
+    commands = {"list": _cmd_list, "show": _cmd_show,
+                "resume": _cmd_resume, "delete": _cmd_delete}
+    if args.db != ":memory:" and not Path(args.db).exists():
+        # Opening a mistyped path would silently create an empty database
+        # and report "no studies stored" — error out instead.
+        out(f"error: no such database file: {args.db}")
+        return 1
+    with StudyStorage(args.db) as storage:
+        try:
+            return commands[args.command](storage, args, out)
+        except TrialError as exc:
+            out(f"error: {exc}")
+            return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

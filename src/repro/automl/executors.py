@@ -17,9 +17,25 @@ the in-process equivalent of that pool:
   sidestepping the GIL for CPU-bound objectives.  Objectives (and their
   sampled parameters) must be picklable; each worker process derives its own
   RNG (:func:`worker_rng`) so stochastic objectives stay reproducible per
-  process.  Trial records are shipped back and merged into the caller's
-  :class:`~repro.automl.trial.Trial` objects, so the study loop is identical
-  across backends.
+  process.
+
+Live trial telemetry
+--------------------
+
+Every executor exposes the same two telemetry hooks, so schedulers treat all
+backends uniformly:
+
+* :meth:`TrialExecutor.pump_telemetry` mirrors intermediate values reported
+  by in-flight trials into the caller's :class:`~repro.automl.trial.Trial`
+  objects.  Thread and sync backends share the trial object with the
+  objective, so reports land directly and the pump is a no-op; the process
+  backend streams ``(ticket, step, value)`` messages over a
+  ``multiprocessing`` queue and the pump drains them.
+* :meth:`TrialExecutor.kill_trial` delivers a kill signal (deadline, prune or
+  cancel).  Local backends mark the shared trial; the process backend also
+  writes the ticket into a kill map shared with the workers, whose next
+  ``trial.report(...)`` raises — so a pruned or cancelled remote trial stops
+  at its next report instead of running to its deadline.
 
 Executors only *run* trials; proposing configurations (``ask``) and feeding
 results back into the search algorithm (``tell``) stay inside the study, which
@@ -29,8 +45,10 @@ works unchanged.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import queue as queue_module
 import threading
 import time
 import traceback
@@ -48,7 +66,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 import numpy as np
 
-from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
+from repro.automl.trial import (
+    KILL_CANCELLED,
+    KILL_DEADLINE,
+    PrunedTrial,
+    Trial,
+    TrialCancelled,
+    TrialState,
+)
 
 __all__ = [
     "TrialCancelled",
@@ -71,11 +96,16 @@ EXECUTOR_BACKENDS = ("auto", "sync", "thread", "process")
 # wedged pool would hang the study).  This factor bounds the queue wait.
 STARVATION_GRACE_FACTOR = 5.0
 
+# How often a waiting batch wakes up to run its tick callback (telemetry
+# draining, mid-trial pruning, cancellation checks).
+TICK_INTERVAL = 0.05
+
 
 class TrialExecutorClosed(RuntimeError):
     """Submitting to an executor after ``close()``: no pool rebuild allowed."""
 
 Objective = Callable[[Trial], float]
+TickFn = Optional[Callable[[], bool]]
 
 
 def execute_trial(objective: Objective, trial: Trial,
@@ -83,9 +113,21 @@ def execute_trial(objective: Objective, trial: Trial,
     """Run ``objective`` on ``trial`` and record outcome, duration and errors.
 
     This is the single place where a trial's lifecycle transitions happen, for
-    both the sequential and the pooled path.  If the trial was cancelled while
-    the objective ran (deadline enforcement), the late result is discarded and
-    the TIMED_OUT state set by the canceller is preserved.
+    both the sequential and the pooled path (it also runs worker-side inside
+    process workers).  A kill signal observed while the objective ran maps to
+    the matching terminal state: deadline kills to ``TIMED_OUT``, prune kills
+    to ``PRUNED``, job cancellation to ``CANCELLED``.  If the canceller's
+    bookkeeping already recorded a terminal state, the late outcome is
+    discarded so the algorithm's view stays consistent.
+
+    Args:
+        objective: the user callable evaluated on the trial.
+        trial: the trial to run; mutated in place.
+        trial_time_limit: wall-clock budget used to post-hoc mark an overlong
+            (but completed) run as ``TIMED_OUT``.
+
+    Returns:
+        The same ``trial``, now in a terminal state.
     """
     start = time.perf_counter()
     trial.started_at = start
@@ -93,8 +135,12 @@ def execute_trial(objective: Objective, trial: Trial,
         value = objective(trial)
         outcome, result, error = TrialState.COMPLETED, float(value), None
     except (PrunedTrial, TrialCancelled) as exc:
-        cancelled = isinstance(exc, TrialCancelled) or trial.is_cancelled
-        outcome = TrialState.TIMED_OUT if cancelled else TrialState.PRUNED
+        outcome = trial.killed_state
+        if outcome is None:
+            # The objective raised on its own (cooperative should_prune(), or
+            # a legacy TrialCancelled): classify by the exception type.
+            outcome = (TrialState.TIMED_OUT if isinstance(exc, TrialCancelled)
+                       else TrialState.PRUNED)
         result, error = None, None
     except KeyboardInterrupt:
         raise
@@ -104,14 +150,12 @@ def execute_trial(objective: Objective, trial: Trial,
         error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=3)}"
     duration = time.perf_counter() - start
     with trial._state_lock:
-        if trial.is_cancelled:
-            # A straggler finishing after its deadline: whatever the late
-            # outcome was (success, failure, prune), the algorithm has already
-            # been told TIMED_OUT, so the recorded state must stay TIMED_OUT
-            # and the whole late outcome (value, error, duration) is
-            # discarded, keeping the canceller's bookkeeping intact.
-            trial.value = None
-            trial.state = TrialState.TIMED_OUT
+        if trial.is_finished:
+            # A straggler finishing after its canceller already recorded a
+            # terminal state (deadline or job cancellation): the algorithm has
+            # been — or is about to be — told that state, so the whole late
+            # outcome (value, error, duration) is discarded, keeping the
+            # canceller's bookkeeping intact.
             return trial
         trial.value = result
         trial.error = error
@@ -123,20 +167,32 @@ def execute_trial(objective: Objective, trial: Trial,
     return trial
 
 
-def expire_trial(trial: Trial, future: "Future[Trial]", limit: float) -> None:
-    """Cancel a trial past its deadline and record its terminal state.
+def expire_trial(trial: Trial, future: "Future[Trial]", limit: float,
+                 reason: str = KILL_DEADLINE) -> None:
+    """Kill a trial (deadline passed or job cancelled) and record its state.
 
-    A trial whose future could still be cancelled never ran: it is recorded
-    FAILED (retryable starvation), not TIMED_OUT.  A running straggler is
-    cancelled cooperatively and recorded TIMED_OUT; its late result is
-    discarded on arrival via the cancel flag.
+    A trial whose future could still be cancelled never ran: under a deadline
+    kill it is recorded FAILED (retryable starvation), not TIMED_OUT; under a
+    job cancellation it is recorded CANCELLED either way.  A running straggler
+    is killed cooperatively and recorded TIMED_OUT (deadline) or CANCELLED
+    (job cancel); its late result is discarded on arrival.
+
+    Args:
+        trial: the in-flight trial.
+        future: its executor future (cancelled when still queued).
+        limit: the per-trial time limit, recorded as the duration of a
+            timed-out straggler.
+        reason: :data:`~repro.automl.trial.KILL_DEADLINE` (default) or
+            :data:`~repro.automl.trial.KILL_CANCELLED`.
     """
-    trial.cancel()  # cooperative: Trial.report raises from now on
+    trial.kill(reason)  # cooperative: Trial.report raises from now on
     never_started = future.cancel()
     with trial._state_lock:
         if trial.is_finished:
             return
-        if never_started:
+        if reason == KILL_CANCELLED:
+            trial.state = TrialState.CANCELLED
+        elif never_started:
             trial.state = TrialState.FAILED
             trial.error = ("trial never started: worker pool starved at "
                            "the deadline")
@@ -146,17 +202,65 @@ def expire_trial(trial: Trial, future: "Future[Trial]", limit: float) -> None:
 
 
 class TrialExecutor:
-    """Minimal pool interface: submit trials, wait for a batch, shut down."""
+    """Minimal pool interface: submit trials, wait for a batch, shut down.
+
+    Subclasses provide the pool; the base class supplies batch waiting with
+    deadline enforcement and the default (local, shared-object) telemetry
+    behaviour.
+    """
 
     n_workers: int = 1
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        """Schedule one trial and return a future resolving to it.
+
+        Args:
+            objective: the user callable to evaluate.
+            trial: the trial record to run and mutate.
+            trial_time_limit: per-trial wall-clock budget (None = unlimited).
+
+        Returns:
+            A future whose result is ``trial`` once it reached a terminal
+            state.
+        """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Live telemetry
+    # ------------------------------------------------------------------ #
+    def pump_telemetry(self) -> int:
+        """Mirror streamed intermediate reports into the local trials.
+
+        Thread and sync backends share trial objects with the objective, so
+        reports are already visible and the pump is a no-op; the process
+        backend overrides this to drain its uplink queue.
+
+        Returns:
+            The number of reports mirrored by this call.
+        """
+        return 0
+
+    def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
+        """Deliver a kill signal to an in-flight trial (cooperative).
+
+        The objective observes the kill at its next ``trial.report(...)``.
+        The process backend overrides this to also signal the remote worker.
+
+        Args:
+            trial: the trial to stop.
+            reason: a kill reason from :mod:`repro.automl.trial`
+                (``KILL_DEADLINE``, ``KILL_PRUNED`` or ``KILL_CANCELLED``).
+        """
+        trial.kill(reason)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
     def run_batch(self, objective: Objective, trials: Sequence[Trial],
                   trial_time_limit: Optional[float] = None,
-                  hard_deadline: Optional[float] = None) -> List[Trial]:
+                  hard_deadline: Optional[float] = None,
+                  tick_fn: TickFn = None) -> List[Trial]:
         """Run ``trials`` (at most ``n_workers`` of them) and block until each
         one has a terminal state.
 
@@ -170,13 +274,26 @@ class TrialExecutor:
         ``hard_deadline`` (absolute ``perf_counter`` time, from the study's
         total time limit) expires everything still pending when reached, so a
         wedged pool can never hang the study past its total budget.
+
+        Args:
+            objective: the user callable to evaluate.
+            trials: the batch to run.
+            trial_time_limit: per-trial wall-clock budget.
+            hard_deadline: absolute time after which everything expires.
+            tick_fn: invoked every :data:`TICK_INTERVAL` while waiting; used
+                by schedulers to drain telemetry and prune mid-trial.  A
+                ``True`` return cancels every still-pending trial (job
+                cancellation) and ends the batch immediately.
+
+        Returns:
+            The input trials, each in a terminal state.
         """
         futures = [self.submit(objective, t, trial_time_limit) for t in trials]
-        if trial_time_limit is None and hard_deadline is None:
+        if trial_time_limit is None and hard_deadline is None and tick_fn is None:
             wait(futures)
         else:
             self._wait_with_deadlines(list(zip(futures, trials)),
-                                      trial_time_limit, hard_deadline)
+                                      trial_time_limit, hard_deadline, tick_fn)
         for future in futures:
             if future.done() and not future.cancelled() and future.exception() is not None:
                 # Only non-Exception BaseExceptions (e.g. KeyboardInterrupt)
@@ -185,19 +302,27 @@ class TrialExecutor:
                 raise future.exception()
         return list(trials)
 
-    @staticmethod
-    def _wait_with_deadlines(pairs: List, limit: Optional[float],
-                             hard_deadline: Optional[float]) -> None:
-        """Enforce per-trial start-based deadlines over (future, trial) pairs."""
+    def _wait_with_deadlines(self, pairs: List, limit: Optional[float],
+                             hard_deadline: Optional[float],
+                             tick_fn: TickFn = None) -> None:
+        """Enforce start-based deadlines and tick callbacks over (future, trial) pairs."""
         pending = dict(pairs)
         submit_time = time.perf_counter()
         grace = None if limit is None else limit * STARVATION_GRACE_FACTOR
         latest_start: Optional[float] = None  # None until the pool serves us
         while pending:
+            if tick_fn is not None and tick_fn():
+                # Job cancellation: nothing pending may keep running.
+                for future, trial in pending.items():
+                    self.kill_trial(trial, KILL_CANCELLED)
+                    expire_trial(trial, future, limit or 0.0,
+                                 reason=KILL_CANCELLED)
+                return
             now = time.perf_counter()
             if hard_deadline is not None and now >= hard_deadline:
                 # Total study budget spent: nothing may outlive it.
                 for future, trial in pending.items():
+                    self.kill_trial(trial, KILL_DEADLINE)
                     expire_trial(trial, future, limit or 0.0)
                 return
             for future, trial in list(pending.items()):
@@ -230,9 +355,10 @@ class TrialExecutor:
                     next_deadline = (deadline if next_deadline is None
                                      else min(next_deadline, deadline))
                     continue
+                self.kill_trial(trial, KILL_DEADLINE)
                 expire_trial(trial, future, limit)
                 # Stop waiting for it; a zombie straggler's late result is
-                # discarded on arrival via the cancel flag.
+                # discarded on arrival via the kill flag.
                 pending.pop(future)
             if pending:
                 timeout = (None if next_deadline is None
@@ -241,6 +367,10 @@ class TrialExecutor:
                     # Cap the wait so a trial that starts mid-sleep still gets
                     # its deadline enforced promptly.
                     timeout = limit if timeout is None else min(timeout, limit)
+                if tick_fn is not None:
+                    # Wake regularly to drain telemetry and observe kills.
+                    timeout = (TICK_INTERVAL if timeout is None
+                               else min(timeout, TICK_INTERVAL))
                 wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
 
     def shutdown(self) -> None:
@@ -263,12 +393,18 @@ class TrialExecutor:
 
 
 class SynchronousExecutor(TrialExecutor):
-    """Runs every trial inline on the calling thread (``n_workers=1``)."""
+    """Runs every trial inline on the calling thread (``n_workers=1``).
+
+    There is no concurrency to stream telemetry into: pruning happens
+    cooperatively inside the objective (``trial.should_prune()``), exactly as
+    in the historical sequential loop.
+    """
 
     n_workers = 1
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        """Run the trial inline and return an already-resolved future."""
         future: "Future[Trial]" = Future()
         future.set_result(execute_trial(objective, trial, trial_time_limit))
         return future
@@ -280,6 +416,9 @@ class ThreadPoolTrialExecutor(TrialExecutor):
     Worker death (a pool that raises on submit, e.g. after an interpreter-level
     failure marked it broken) is handled by rebuilding the pool once per
     submission attempt, so a study survives losing its workers mid-flight.
+    Trials share their objects with the objective threads, so intermediate
+    reports are immediately visible to the scheduler and kill signals take
+    effect at the straggler's next report.
     """
 
     def __init__(self, n_workers: int, thread_name_prefix: str = "anttune-worker") -> None:
@@ -309,6 +448,11 @@ class ThreadPoolTrialExecutor(TrialExecutor):
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        """Schedule the trial on the thread pool (rebuilding a broken pool once).
+
+        Raises:
+            TrialExecutorClosed: the executor was permanently closed.
+        """
         try:
             return self._ensure_pool().submit(execute_trial, objective, trial,
                                               trial_time_limit)
@@ -320,9 +464,11 @@ class ThreadPoolTrialExecutor(TrialExecutor):
                                               trial_time_limit)
 
     def shutdown(self) -> None:
+        """Release the pool; a later submit transparently rebuilds it."""
         self._discard_pool()
 
     def close(self) -> None:
+        """Release the pool permanently; further submits raise."""
         with self._pool_lock:
             self._closed = True
         self.shutdown()
@@ -333,20 +479,29 @@ class ThreadPoolTrialExecutor(TrialExecutor):
 # --------------------------------------------------------------------------- #
 _WORKER_RNG: Optional[np.random.Generator] = None
 _THREAD_RNGS = threading.local()
+# Telemetry endpoints inside a worker process (set by the pool initializer):
+# the uplink queue streams (ticket, step, value) reports to the parent, the
+# kill map is scanned on every report for prune/cancel signals.
+_WORKER_UPLINK = None
+_WORKER_KILLS = None
 
 
-def _init_process_worker(base_seed: int, worker_counter: "Synchronized") -> None:
-    """Process-pool initializer: derive this worker's RNG from (seed, index).
+def _init_process_worker(base_seed: int, worker_counter: "Synchronized",
+                         uplink=None, kills=None) -> None:
+    """Process-pool initializer: derive this worker's RNG, wire telemetry.
 
     The shared counter hands each worker a deterministic index 0..n-1, so for
     a fixed ``base_seed`` the pool's RNG streams are reproducible across runs
-    (pids are not).
+    (pids are not).  ``uplink``/``kills`` are the telemetry endpoints shared
+    with the parent process.
     """
-    global _WORKER_RNG
+    global _WORKER_RNG, _WORKER_UPLINK, _WORKER_KILLS
     with worker_counter.get_lock():
         worker_index = worker_counter.value
         worker_counter.value += 1
     _WORKER_RNG = np.random.default_rng([int(base_seed), worker_index])
+    _WORKER_UPLINK = uplink
+    _WORKER_KILLS = kills
 
 
 def worker_rng() -> np.random.Generator:
@@ -359,6 +514,9 @@ def worker_rng() -> np.random.Generator:
     backend) each *thread* lazily gets its own generator derived from
     (pid, thread id) — numpy generators are not thread-safe, so the streams
     must not be shared across pool threads.
+
+    Returns:
+        The calling worker's (or thread's) private generator.
     """
     if _WORKER_RNG is not None:
         return _WORKER_RNG
@@ -369,12 +527,33 @@ def worker_rng() -> np.random.Generator:
     return rng
 
 
+def _telemetry_hook(ticket: int):
+    """Worker-side report hook: stream the value up, observe kill signals."""
+    def _hook(trial: Trial, value: float, step: Optional[int]) -> None:
+        if _WORKER_UPLINK is not None:
+            try:
+                _WORKER_UPLINK.put(
+                    (ticket, len(trial.intermediate_values) - 1, value))
+            except Exception:  # noqa: BLE001 - a torn-down parent queue must
+                pass           # never crash a worker mid-objective.
+        if _WORKER_KILLS is not None:
+            try:
+                reason = _WORKER_KILLS.get(ticket)
+            except Exception:  # noqa: BLE001 - manager already shut down
+                reason = None
+            if reason is not None:
+                trial.kill(reason)
+                trial._raise_if_killed()
+    return _hook
+
+
 def _run_trial_in_process(objective: Objective, params: Dict[str, object],
-                          trial_id: int, worker: Optional[str],
+                          trial_id: int, ticket: int, worker: Optional[str],
                           trial_time_limit: Optional[float]) -> Dict[str, object]:
     """Worker-side entry point: rebuild the trial, run it, ship the record back."""
     trial = Trial(trial_id=trial_id, params=params, worker=worker,
                   state=TrialState.RUNNING)
+    trial._report_hook = _telemetry_hook(ticket)
     execute_trial(objective, trial, trial_time_limit)
     return trial.as_record()
 
@@ -409,14 +588,15 @@ class ProcessPoolTrialExecutor(TrialExecutor):
     """Runs trials in worker processes (CPU-bound objectives, no GIL contention).
 
     Objectives and their parameters must be picklable.  The remote trial is a
-    fresh object in the worker process: intermediate values come back only
-    with the final record, pruners cannot act inside the worker
-    (``trial.should_prune()`` is always False remotely — the study warns when
-    a pruner is configured on this backend), and deadline cancellation cannot
-    interrupt a remote objective — the late result is discarded on arrival
-    instead.  A broken pool (worker killed hard) is rebuilt transparently and
-    the affected trials are recorded as FAILED, which the study's retry logic
-    resubmits.
+    fresh object in the worker process, but it is *not* blind any more: every
+    ``trial.report(...)`` streams ``(ticket, step, value)`` back over a
+    ``multiprocessing`` queue, :meth:`pump_telemetry` mirrors those values
+    into the caller's trial objects mid-run, and :meth:`kill_trial` writes a
+    kill reason into a map shared with the workers so the remote objective's
+    next report raises and the trial stops early (pruning, cancellation,
+    deadlines).  A broken pool (worker killed hard) is rebuilt transparently
+    and the affected trials are recorded as FAILED, which the study's retry
+    logic resubmits.
     """
 
     def __init__(self, n_workers: int, base_seed: int = 0) -> None:
@@ -427,28 +607,51 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         self._pool_lock = threading.Lock()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        # Telemetry plumbing: tickets are executor-unique submission ids (two
+        # jobs sharing this pool may both run a "trial 0", so trial_id alone
+        # cannot key the channel).
+        self._telemetry_lock = threading.Lock()
+        self._ticket_counter = itertools.count()
+        self._live: Dict[int, Trial] = {}            # ticket -> local trial
+        self._ticket_by_trial: Dict[int, int] = {}   # id(trial) -> ticket
+        self._manager = None                         # backs the kill map
+        self._kills = None                           # ticket -> kill reason
+        self._uplink = None                          # worker -> parent reports
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
             if self._closed:
                 raise TrialExecutorClosed("executor has been closed")
             if self._pool is None:
+                ctx = multiprocessing.get_context()
+                self._manager = ctx.Manager()
+                self._kills = self._manager.dict()
+                self._uplink = ctx.Queue()
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.n_workers,
                     initializer=_init_process_worker,
-                    initargs=(self.base_seed, multiprocessing.Value("i", 0)))
+                    initargs=(self.base_seed, ctx.Value("i", 0),
+                              self._uplink, self._kills))
             return self._pool
 
     def _discard_pool(self) -> None:
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            manager, self._manager = self._manager, None
+            self._kills = None
+            uplink, self._uplink = self._uplink, None
         if pool is not None:
             pool.shutdown(wait=False)
+        if uplink is not None:
+            uplink.cancel_join_thread()
+            uplink.close()
+        if manager is not None:
+            manager.shutdown()
 
-    def _submit_raw(self, objective: Objective, trial: Trial,
+    def _submit_raw(self, objective: Objective, trial: Trial, ticket: int,
                     trial_time_limit: Optional[float]) -> Future:
-        args = (objective, dict(trial.params), trial.trial_id, trial.worker,
-                trial_time_limit)
+        args = (objective, dict(trial.params), trial.trial_id, ticket,
+                trial.worker, trial_time_limit)
         try:
             return self._ensure_pool().submit(_run_trial_in_process, *args)
         except RuntimeError:
@@ -458,15 +661,93 @@ class ProcessPoolTrialExecutor(TrialExecutor):
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        """Ship the trial to a worker process; the future merges its record back.
+
+        Raises:
+            TrialExecutorClosed: the executor was permanently closed.
+        """
         merged = _MergedFuture()
-        raw = self._submit_raw(objective, trial, trial_time_limit)
+        ticket = next(self._ticket_counter)
+        # Register before submitting: a fast worker's first report must find
+        # its ticket, or the report would be silently dropped.
+        with self._telemetry_lock:
+            self._live[ticket] = trial
+            self._ticket_by_trial[id(trial)] = ticket
+        try:
+            raw = self._submit_raw(objective, trial, ticket, trial_time_limit)
+        except BaseException:
+            self._forget(ticket, trial)
+            raise
         merged.attach(raw)
-        raw.add_done_callback(self._merge_into(trial, merged))
+        raw.add_done_callback(self._merge_into(trial, ticket, merged))
         return merged
 
-    @staticmethod
-    def _merge_into(trial: Trial, merged: _MergedFuture) -> Callable[[Future], None]:
+    def _forget(self, ticket: int, trial: Trial) -> None:
+        """Drop a finished submission from the telemetry registries."""
+        with self._telemetry_lock:
+            self._live.pop(ticket, None)
+            self._ticket_by_trial.pop(id(trial), None)
+            kills = self._kills
+        if kills is not None:
+            try:
+                kills.pop(ticket, None)
+            except Exception:  # noqa: BLE001 - manager already shut down
+                pass
+
+    def pump_telemetry(self) -> int:
+        """Drain the uplink queue, mirroring reports into local trials.
+
+        Returns:
+            The number of reports mirrored by this call.
+        """
+        with self._pool_lock:
+            uplink = self._uplink
+        if uplink is None:
+            return 0
+        mirrored = 0
+        while True:
+            try:
+                ticket, step, value = uplink.get_nowait()
+            except queue_module.Empty:
+                break
+            except (OSError, ValueError, EOFError):
+                break  # queue torn down under us (pool rebuild/shutdown)
+            with self._telemetry_lock:
+                trial = self._live.get(ticket)
+                if trial is None:
+                    continue  # late report from an already-merged trial
+                with trial._state_lock:
+                    # The final record replaces the whole list on merge; until
+                    # then mirror in order, skipping duplicates defensively.
+                    if (not trial.is_finished
+                            and step == len(trial.intermediate_values)):
+                        trial.intermediate_values.append(float(value))
+                        mirrored += 1
+        return mirrored
+
+    def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
+        """Kill locally and signal the remote worker via the shared kill map."""
+        trial.kill(reason)
+        with self._telemetry_lock:
+            ticket = self._ticket_by_trial.get(id(trial))
+            kills = self._kills
+            if ticket is None or kills is None or ticket not in self._live:
+                # Already merged (or pool torn down): writing the kill entry
+                # now would leak it forever — _forget() has run or will never
+                # see this ticket again.
+                return
+            try:
+                # Written under the lock: _forget() pops _live under the same
+                # lock first, so either it sees our entry and cleans it, or
+                # we saw the ticket gone and skipped the write.
+                kills[ticket] = reason
+            except Exception:  # noqa: BLE001 - manager already shut down
+                pass
+
+    def _merge_into(self, trial: Trial, ticket: int,
+                    merged: _MergedFuture) -> Callable[[Future], None]:
         def _done(raw: Future) -> None:
+            self._forget(ticket, trial)
             if raw.cancelled():
                 with trial._state_lock:
                     if not trial.is_finished:
@@ -487,12 +768,9 @@ class ProcessPoolTrialExecutor(TrialExecutor):
                 return
             record = raw.result()
             with trial._state_lock:
-                if trial.is_cancelled:
-                    # Late arrival from a remote straggler: discard, keep the
-                    # canceller's TIMED_OUT bookkeeping intact.
-                    trial.value = None
-                    trial.state = TrialState.TIMED_OUT
-                else:
+                if not trial.is_finished:
+                    # A canceller that already recorded a terminal state wins;
+                    # otherwise the remote record is authoritative.
                     trial.state = TrialState(record["state"])
                     trial.value = record["value"]
                     trial.error = record["error"]
@@ -503,9 +781,11 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         return _done
 
     def shutdown(self) -> None:
+        """Release the pool, manager and telemetry channel (rebuilt on demand)."""
         self._discard_pool()
 
     def close(self) -> None:
+        """Release everything permanently; further submits raise."""
         with self._pool_lock:
             self._closed = True
         self.shutdown()
@@ -519,6 +799,17 @@ def make_executor(n_workers: int, backend: str = "auto",
     worker, a thread pool otherwise.  ``process`` builds a
     :class:`ProcessPoolTrialExecutor` (picklable objectives required) whose
     workers derive per-process RNGs from ``base_seed``.
+
+    Args:
+        n_workers: pool size (>= 1).
+        backend: one of ``"auto"``, ``"sync"``, ``"thread"``, ``"process"``.
+        base_seed: seed for the process workers' RNG streams.
+
+    Returns:
+        A ready :class:`TrialExecutor`.
+
+    Raises:
+        ValueError: for a non-positive worker count or unknown backend.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")

@@ -17,11 +17,27 @@ Two scheduling disciplines drive the executor pool:
 
 Both schedulers share the study's retry policy (a failed configuration is
 resubmitted up to ``max_retries`` times without consuming extra budget slots),
-per-trial deadlines and the total time limit.
+per-trial deadlines and the total time limit.  On every refill tick they also:
+
+* **drain live telemetry** (:class:`TelemetryMonitor`) — intermediate values
+  streamed back by in-flight trials (including process-backend ones) are fed
+  to the study's pruner, and a futureless trial is killed mid-run instead of
+  running to its deadline;
+* **observe cancellation** — a :meth:`Study.request_stop` (e.g. the tune
+  server's ``cancel(job_id)``) expires everything in flight with the
+  ``CANCELLED`` terminal state within one tick.
+
+Fair sharing of one pool between jobs is provided by
+:class:`FairShareGovernor` and :class:`GovernedExecutor`: the governor
+apportions the pool's slots among registered jobs by priority weight, and the
+governed view caps each job's refill width at its current allowance, so a
+latency-sensitive job overtakes a bulk sweep as slots free up instead of
+queueing behind it FIFO.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
@@ -29,19 +45,81 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 
 from repro.automl.executors import (
     STARVATION_GRACE_FACTOR,
+    TICK_INTERVAL,
     TrialExecutor,
     expire_trial,
 )
-from repro.automl.trial import Trial, TrialState
+from repro.automl.pruners import NoPruner
+from repro.automl.trial import KILL_CANCELLED, KILL_DEADLINE, KILL_PRUNED, Trial, TrialState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.automl.study import Study
 
-__all__ = ["TrialScheduler", "RoundScheduler", "AsyncScheduler", "make_scheduler"]
+__all__ = [
+    "TrialScheduler",
+    "RoundScheduler",
+    "AsyncScheduler",
+    "make_scheduler",
+    "TelemetryMonitor",
+    "FairShareGovernor",
+    "GovernedExecutor",
+]
 
 Objective = Callable[[Trial], float]
 CheckpointFn = Optional[Callable[[], None]]
 SchedulerLike = Union[None, str, "TrialScheduler"]
+
+
+class TelemetryMonitor:
+    """Feeds live intermediate reports to the study's pruner between ticks.
+
+    Schedulers call :meth:`observe` on every refill tick: the executor's
+    telemetry is pumped (mirroring process-backend reports into the local
+    trial objects), and any trial with new reports is judged by the study's
+    pruner.  A futureless trial is killed with
+    :data:`~repro.automl.trial.KILL_PRUNED`, which its objective observes at
+    the next ``report()`` — so even a remote straggler stops mid-run.
+
+    With a :class:`~repro.automl.pruners.NoPruner` the monitor only pumps
+    (keeping intermediate values visible to ``status()`` mid-run) and never
+    kills, so the round scheduler's determinism is unaffected.
+    """
+
+    def __init__(self, study: "Study", executor: TrialExecutor) -> None:
+        self.study = study
+        self.executor = executor
+        self.prune_active = not isinstance(study.pruner, NoPruner)
+        # Reports already judged per trial id, so each new report is fed to
+        # the pruner exactly once.
+        self._judged: Dict[int, int] = {}
+
+    def observe(self, trials: Sequence[Trial]) -> None:
+        """Pump telemetry and prune any of ``trials`` that turned futureless.
+
+        Args:
+            trials: the caller's in-flight trials (other jobs' trials on a
+                shared executor are pumped too, but only judged by their own
+                scheduler).
+        """
+        self.executor.pump_telemetry()
+        if not self.prune_active:
+            return
+        for trial in trials:
+            if trial.is_finished or trial.is_cancelled:
+                continue
+            seen = len(trial.intermediate_values)
+            if seen <= self._judged.get(trial.trial_id, 0):
+                continue
+            self._judged[trial.trial_id] = seen
+            with self.study._lock:
+                prune = self.study.pruner.should_prune(
+                    trial, self.study.trials, self.study.config.maximize)
+            if prune:
+                self.executor.kill_trial(trial, KILL_PRUNED)
+
+    def forget(self, trial: Trial) -> None:
+        """Stop tracking a settled trial (frees the judged-report counter)."""
+        self._judged.pop(trial.trial_id, None)
 
 
 class TrialScheduler:
@@ -52,7 +130,16 @@ class TrialScheduler:
     def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
             remaining: int, worker_names: Sequence[str],
             checkpoint_fn: CheckpointFn = None) -> None:
-        """Consume ``remaining`` budget slots of ``study`` on ``executor``."""
+        """Consume ``remaining`` budget slots of ``study`` on ``executor``.
+
+        Args:
+            study: the study whose algorithm is asked/told (under its lock).
+            objective: the user callable evaluated per trial.
+            executor: the worker pool to keep busy.
+            remaining: how many budget slots are left to consume.
+            worker_names: round-robin worker attribution labels.
+            checkpoint_fn: invoked after every consumed budget slot.
+        """
         raise NotImplementedError
 
 
@@ -64,12 +151,20 @@ class RoundScheduler(TrialScheduler):
     def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
             remaining: int, worker_names: Sequence[str],
             checkpoint_fn: CheckpointFn = None) -> None:
+        """Run batches of up to ``executor.n_workers`` trials behind a barrier.
+
+        Each batch waits with a tick callback, so live telemetry still feeds
+        the pruner mid-batch and a cancellation expires the batch within one
+        tick instead of at the barrier.
+        """
         names = list(worker_names)
         config = study.config
+        monitor = TelemetryMonitor(study, executor)
         start_time = time.perf_counter()
         hard_deadline = (None if config.total_time_limit is None
                          else start_time + config.total_time_limit)
-        while remaining > 0 and not study._total_time_exceeded(start_time):
+        while (remaining > 0 and not study.stop_requested
+               and not study._total_time_exceeded(start_time)):
             batch_size = min(executor.n_workers, remaining)
             with study._lock:
                 asked = [study.algorithm.ask(study.space, study.trials, config.maximize)
@@ -81,10 +176,21 @@ class RoundScheduler(TrialScheduler):
                     for params, _ in pending:
                         batch.append(study._new_trial(
                             dict(params), names[len(study.trials) % len(names)]))
+
+                def tick() -> bool:
+                    monitor.observe(batch)
+                    return study.stop_requested
+
                 executor.run_batch(objective, batch, config.trial_time_limit,
-                                   hard_deadline=hard_deadline)
+                                   hard_deadline=hard_deadline, tick_fn=tick)
                 for trial in batch:
                     study.tell(trial)
+                    monitor.forget(trial)
+                if study.stop_requested:
+                    # Cancelled mid-batch: the batch's trials were expired as
+                    # CANCELLED by run_batch; nothing is retried and the
+                    # consumed slots are not charged to the budget.
+                    return
                 pending = [(params, retries + 1)
                            for (params, retries), trial in zip(pending, batch)
                            if trial.state == TrialState.FAILED
@@ -119,8 +225,16 @@ class AsyncScheduler(TrialScheduler):
     def run(self, study: "Study", objective: Objective, executor: TrialExecutor,
             remaining: int, worker_names: Sequence[str],
             checkpoint_fn: CheckpointFn = None) -> None:
+        """Keep up to ``executor.n_workers`` slots busy until the budget drains.
+
+        The loop wakes at least every :data:`~repro.automl.executors.TICK_INTERVAL`
+        to drain telemetry, feed the pruner, enforce deadlines and observe
+        cancellation; ``executor.n_workers`` is re-read on every refill, so a
+        :class:`GovernedExecutor` allowance change takes effect within a tick.
+        """
         names = list(worker_names)
         config = study.config
+        monitor = TelemetryMonitor(study, executor)
         start_time = time.perf_counter()
         in_flight: Dict["Future[Trial]", _Flight] = {}
         submitted = 0
@@ -138,6 +252,7 @@ class AsyncScheduler(TrialScheduler):
         def refill() -> None:
             nonlocal submitted
             while (submitted < remaining and len(in_flight) < executor.n_workers
+                   and not study.stop_requested
                    and not study._total_time_exceeded(start_time)):
                 with study._lock:
                     params = study.algorithm.ask(study.space, study.trials,
@@ -148,8 +263,15 @@ class AsyncScheduler(TrialScheduler):
         def settle(flight: _Flight) -> None:
             """Tell a finished trial back and either retry it or consume a slot."""
             study.tell(flight.trial)
-            if (flight.trial.state == TrialState.FAILED
+            monitor.forget(flight.trial)
+            if flight.trial.state == TrialState.CANCELLED:
+                # Cancelled slots are not charged (matching the round path):
+                # a later resume re-runs them with the remaining budget.
+                if checkpoint_fn is not None:
+                    checkpoint_fn()
+            elif (flight.trial.state == TrialState.FAILED
                     and flight.retries < config.max_retries
+                    and not study.stop_requested
                     and not study._total_time_exceeded(start_time)):
                 launch(flight.params, flight.retries + 1)
             else:
@@ -157,23 +279,36 @@ class AsyncScheduler(TrialScheduler):
                 if checkpoint_fn is not None:
                     checkpoint_fn()
 
+        def drain_all(reason: str) -> None:
+            """Expire everything still in flight (cancellation / time budget)."""
+            for future, flight in list(in_flight.items()):
+                in_flight.pop(future)
+                executor.kill_trial(flight.trial, reason)
+                expire_trial(flight.trial, future,
+                             config.trial_time_limit or 0.0, reason=reason)
+                settle(flight)
+
         refill()
         while in_flight:
+            if study.stop_requested:
+                # Job cancelled: everything in flight is expired CANCELLED
+                # within this tick; settle() never retries a cancelled trial.
+                drain_all(KILL_CANCELLED)
+                break
             if study._total_time_exceeded(start_time):
                 # Total study budget spent: nothing may outlive it (matches
                 # the round path's hard deadline) — expire everything still
                 # in flight; settle() won't retry past the limit.
-                for future, flight in list(in_flight.items()):
-                    in_flight.pop(future)
-                    expire_trial(flight.trial, future,
-                                 config.trial_time_limit or 0.0)
-                    settle(flight)
+                drain_all(KILL_DEADLINE)
                 break
             deadlines = [f.deadline for f in in_flight.values() if f.deadline is not None]
             if config.total_time_limit is not None:
                 deadlines.append(start_time + config.total_time_limit)
             timeout = (max(0.0, min(deadlines) - time.perf_counter()) + 0.01
                        if deadlines else None)
+            # Wake at least every tick: telemetry, pruning and cancellation
+            # must not wait for the next completion or deadline.
+            timeout = TICK_INTERVAL if timeout is None else min(timeout, TICK_INTERVAL)
             done, _ = wait(list(in_flight), timeout=timeout,
                            return_when=FIRST_COMPLETED)
             for future in done:
@@ -212,14 +347,144 @@ class AsyncScheduler(TrialScheduler):
                     if now < grace_deadline:
                         flight.deadline = min(now + limit, grace_deadline)
                         continue
+                executor.kill_trial(flight.trial, KILL_DEADLINE)
                 expire_trial(flight.trial, future, limit)
                 in_flight.pop(future)
                 settle(flight)
+            monitor.observe([f.trial for f in in_flight.values()])
             refill()
 
 
+# --------------------------------------------------------------------------- #
+# Fair sharing of one executor between jobs
+# --------------------------------------------------------------------------- #
+class FairShareGovernor:
+    """Weighted apportionment of a pool's slots among concurrently running jobs.
+
+    Each registered owner (a tune-server job) holds a positive priority
+    weight; :meth:`allowance` apportions ``total_slots`` proportionally to
+    the weights using the largest-remainder method, with deterministic
+    tie-breaking by registration order and a guaranteed minimum of one slot
+    per owner (so a low-priority job is slowed, never starved).  Schedulers
+    re-read their allowance on every refill tick through
+    :class:`GovernedExecutor`, so shares rebalance within a tick whenever a
+    job registers or finishes.
+    """
+
+    def __init__(self, total_slots: int) -> None:
+        if total_slots < 1:
+            raise ValueError("total_slots must be >= 1")
+        self.total_slots = int(total_slots)
+        self._lock = threading.Lock()
+        # dicts preserve insertion order: registration order breaks ties.
+        self._weights: Dict[object, float] = {}
+
+    def register(self, owner: object, weight: float = 1.0) -> None:
+        """Add (or re-weight) an owner competing for slots.
+
+        Args:
+            owner: any hashable job identity.
+            weight: positive priority weight; larger means a bigger share.
+
+        Raises:
+            ValueError: for a non-positive weight.
+        """
+        if weight <= 0:
+            raise ValueError("priority weight must be > 0")
+        with self._lock:
+            self._weights[owner] = float(weight)
+
+    def unregister(self, owner: object) -> None:
+        """Remove an owner; its slots redistribute on the next allowance call."""
+        with self._lock:
+            self._weights.pop(owner, None)
+
+    def allowance(self, owner: object) -> int:
+        """How many slots ``owner`` may keep in flight right now.
+
+        Returns:
+            The owner's current apportioned share (>= 1), or the full pool
+            for an unregistered owner (no contention bookkeeping to honour).
+        """
+        with self._lock:
+            if owner not in self._weights:
+                return self.total_slots
+            return self._apportion()[owner]
+
+    def shares(self) -> Dict[object, int]:
+        """The current slot apportionment over all registered owners."""
+        with self._lock:
+            return self._apportion()
+
+    def _apportion(self) -> Dict[object, int]:
+        # Largest-remainder apportionment; caller holds the lock.
+        total_weight = sum(self._weights.values())
+        quotas = {owner: self.total_slots * weight / total_weight
+                  for owner, weight in self._weights.items()}
+        shares = {owner: int(quota) for owner, quota in quotas.items()}
+        leftover = self.total_slots - sum(shares.values())
+        remainders = sorted(
+            quotas, key=lambda o: quotas[o] - shares[o], reverse=True)
+        for owner in remainders[:leftover]:
+            shares[owner] += 1
+        for owner in shares:
+            # Never starve: a job always gets at least one slot, even if that
+            # briefly oversubscribes the pool (bounded by the number of jobs).
+            shares[owner] = max(1, shares[owner])
+        return shares
+
+
+class GovernedExecutor(TrialExecutor):
+    """A per-job view of a shared executor, capped at its fair-share allowance.
+
+    ``n_workers`` is dynamic: it re-reads the governor's current apportionment
+    on every access, so a scheduler that checks its width per refill tick
+    (both built-ins do) shrinks or grows its in-flight set as co-tenant jobs
+    come and go.  All execution, telemetry and kill traffic delegates to the
+    shared inner executor; lifecycle calls are no-ops because the pool belongs
+    to the server, not to any single job.
+    """
+
+    def __init__(self, inner: TrialExecutor, governor: FairShareGovernor,
+                 owner: object) -> None:
+        self.inner = inner
+        self.governor = governor
+        self.owner = owner
+
+    @property
+    def n_workers(self) -> int:  # type: ignore[override]
+        """This job's current slot allowance (>= 1)."""
+        return max(1, self.governor.allowance(self.owner))
+
+    def submit(self, objective: Objective, trial: Trial,
+               trial_time_limit: Optional[float] = None) -> "Future[Trial]":
+        return self.inner.submit(objective, trial, trial_time_limit)
+
+    def pump_telemetry(self) -> int:
+        return self.inner.pump_telemetry()
+
+    def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
+        self.inner.kill_trial(trial, reason)
+
+    def shutdown(self) -> None:
+        """No-op: the shared pool's lifecycle belongs to the server."""
+
+    def close(self) -> None:
+        """No-op: the shared pool's lifecycle belongs to the server."""
+
+
 def make_scheduler(spec: SchedulerLike) -> TrialScheduler:
-    """Resolve ``None``/``"round"``/``"async"``/instance into a scheduler."""
+    """Resolve ``None``/``"round"``/``"async"``/instance into a scheduler.
+
+    Args:
+        spec: None (round default), a scheduler name, or an instance.
+
+    Returns:
+        A :class:`TrialScheduler` ready to ``run``.
+
+    Raises:
+        ValueError: for an unknown scheduler name.
+    """
     if spec is None:
         return RoundScheduler()
     if isinstance(spec, TrialScheduler):

@@ -11,9 +11,16 @@ service:
   ``max_concurrent_jobs`` of them concurrently on the shared worker pool
   (:mod:`repro.automl.executors`), driven by the configured trial scheduler
   (:mod:`repro.automl.scheduler`).
-* Clients use the non-blocking :meth:`poll` to inspect progress and
-  :meth:`wait` to block for a result; :meth:`AntTuneClient.tune` keeps the
-  blocking submit-and-wait convenience API on top.
+* Concurrent jobs share the pool **fairly, not FIFO**: each job's
+  ``priority=`` weight feeds a :class:`~repro.automl.scheduler.FairShareGovernor`
+  that apportions trial slots, so a latency-sensitive job overtakes a bulk
+  sweep as slots free up.
+* Clients use the non-blocking :meth:`poll` to inspect progress (including
+  intermediate values streamed live from in-flight trials) and :meth:`wait`
+  to block for a result; :meth:`cancel` stops a queued or running job within
+  one scheduling tick, leaving it in the terminal ``CANCELLED`` state.
+  :meth:`AntTuneClient.tune` keeps the blocking submit-and-wait convenience
+  API on top.
 * With a :class:`~repro.automl.storage.StudyStorage` attached, every job's
   study is checkpointed into SQLite as it runs, so a restarted server can
   list stored studies and :meth:`resume` them with only the remaining
@@ -41,7 +48,12 @@ import numpy as np
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.executors import EXECUTOR_BACKENDS, TrialExecutor, make_executor
 from repro.automl.pruners import Pruner
-from repro.automl.scheduler import SchedulerLike, make_scheduler
+from repro.automl.scheduler import (
+    FairShareGovernor,
+    GovernedExecutor,
+    SchedulerLike,
+    make_scheduler,
+)
 from repro.automl.search_space import SearchSpace
 from repro.automl.storage import StudyStorage
 from repro.automl.study import Study, StudyConfig
@@ -55,12 +67,19 @@ Objective = Callable[[Trial], float]
 
 
 class JobState(enum.Enum):
-    """Lifecycle of one submitted tuning job."""
+    """Lifecycle of one submitted tuning job.
+
+    ``QUEUED -> RUNNING`` and then exactly one terminal state: ``COMPLETED``
+    (study ran its budget), ``FAILED`` (study raised) or ``CANCELLED``
+    (:meth:`AntTuneServer.cancel`).  A queued job may go straight to
+    ``CANCELLED`` without ever running.
+    """
 
     QUEUED = "queued"
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 def _job_seed(job_id: int) -> int:
@@ -70,25 +89,45 @@ def _job_seed(job_id: int) -> int:
 
 @dataclass
 class TuneJob:
-    """One submitted hyper-parameter optimisation job."""
+    """One submitted hyper-parameter optimisation job.
+
+    Attributes:
+        job_id: server-assigned identifier, returned by ``submit``.
+        study: the underlying :class:`~repro.automl.study.Study`.
+        objective: the user callable evaluated per trial.
+        workers: worker attribution labels for this job's trials.
+        priority: fair-share weight (> 0); larger = bigger slot share.
+        study_name: the name the job persists under (auto-generated default).
+        checkpoint_path: optional JSON checkpoint target.
+        state: current :class:`JobState`.
+        error: failure description once ``FAILED``.
+    """
 
     job_id: int
     study: Study
     objective: Objective
     workers: List[str] = field(default_factory=lambda: ["worker-0"])
+    priority: float = 1.0
     study_name: Optional[str] = None
     checkpoint_path: Optional[str] = None
     state: JobState = JobState.QUEUED
     error: Optional[str] = None
+    cancel_requested: bool = False
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False, compare=False)
+    # Guards state transitions against the cancel()/dispatcher race.
+    _state_lock: threading.Lock = field(default_factory=threading.Lock,
+                                        repr=False, compare=False)
 
     @property
     def finished(self) -> bool:
-        return self.state in (JobState.COMPLETED, JobState.FAILED)
+        """Whether the job reached a terminal state."""
+        return self.state in (JobState.COMPLETED, JobState.FAILED,
+                              JobState.CANCELLED)
 
     @property
     def best_trial(self) -> Trial:
+        """The study's best completed trial (raises if none completed)."""
         return self.study.best_trial
 
 
@@ -101,6 +140,11 @@ class AntTuneServer:
     scheduling discipline for all jobs (see :func:`make_executor` and
     :mod:`repro.automl.scheduler`).  ``storage`` (a :class:`StudyStorage` or a
     path to a SQLite file) enables persistence and :meth:`resume`.
+
+    Concurrent jobs share the pool by weighted fair share: each job's
+    ``priority`` registers with a :class:`FairShareGovernor`, and every job's
+    scheduler caps its in-flight trials at its current allowance, re-read on
+    each refill tick.
     """
 
     def __init__(self, num_workers: int = 4, max_concurrent_jobs: int = 2,
@@ -125,6 +169,7 @@ class AntTuneServer:
         self._jobs: Dict[int, TuneJob] = {}
         self._jobs_lock = threading.Lock()
         self._next_job_id = itertools.count()
+        self._governor = FairShareGovernor(num_workers)
         # Default study names embed a per-server-process nonce so a restarted
         # server never silently upserts over studies a previous process
         # persisted under the same job ids.
@@ -141,7 +186,11 @@ class AntTuneServer:
     # ------------------------------------------------------------------ #
     @property
     def executor(self) -> TrialExecutor:
-        """The worker pool shared by every job on this server (lazy)."""
+        """The worker pool shared by every job on this server (lazy).
+
+        Raises:
+            TrialError: the server has been shut down (no silent rebuilds).
+        """
         with self._init_lock:
             if self._executor is None:
                 if self._closed:
@@ -172,27 +221,71 @@ class AntTuneServer:
                pruner: Optional[Pruner] = None,
                rng: Optional[np.random.Generator] = None,
                study_name: Optional[str] = None,
-               checkpoint_path: Optional[str] = None) -> int:
+               checkpoint_path: Optional[str] = None,
+               priority: float = 1.0) -> int:
         """Enqueue a new tuning job and return its id immediately.
 
         The job starts as soon as a dispatcher slot frees up; use
-        :meth:`poll`/:meth:`wait` to follow it.  Without an explicit ``rng``
-        the study seeds from the job id, so concurrent jobs explore distinct
-        trial sequences.
+        :meth:`poll`/:meth:`wait` to follow it and :meth:`cancel` to stop it.
+        Without an explicit ``rng`` the study seeds from the job id, so
+        concurrent jobs explore distinct trial sequences.
+
+        Args:
+            space: the search space to explore.
+            objective: callable evaluated per trial (picklable for the
+                process backend).
+            algorithm: search algorithm (default RACOS seeded per job).
+            config: study limits and budget.
+            pruner: early-stopping policy; fed live telemetry on every
+                backend, including process pools.
+            rng: explicit RNG stream (overrides the per-job seed).
+            study_name: storage name; must be unique among active jobs.
+            checkpoint_path: optional JSON checkpoint target.
+            priority: fair-share weight (> 0); a job with weight 4 holds
+                roughly 4x the trial slots of a weight-1 co-tenant.
+
+        Returns:
+            The new job's id.
+
+        Raises:
+            ValueError: for a non-positive priority.
+            TrialError: duplicate study name, dying storage, or a server
+                that has been shut down.
         """
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
         job_id = next(self._next_job_id)
         study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
                       rng=new_rng(rng if rng is not None else _job_seed(job_id)))
-        return self._enqueue(job_id, study, objective, study_name, checkpoint_path)
+        return self._enqueue(job_id, study, objective, study_name,
+                             checkpoint_path, priority=priority)
 
     def resume(self, study_name: str, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
-               pruner: Optional[Pruner] = None) -> int:
+               pruner: Optional[Pruner] = None,
+               priority: float = 1.0) -> int:
         """Reload a persisted study from storage and enqueue its remainder.
 
         The study resumes with only the trial budget it had left when last
         checkpointed; v2 checkpoints also restore the algorithm/RNG state so
-        the continuation replays as if never interrupted.
+        the continuation replays as if never interrupted.  Cancelled studies
+        may be resumed: their CANCELLED trials stay in the history and the
+        unconsumed budget re-runs.
+
+        Args:
+            study_name: the stored study to continue.
+            space: the original search space (code is not persisted).
+            objective: callable evaluated per trial.
+            algorithm: matching algorithm when the original used a
+                non-default one.
+            pruner: early-stopping policy for the continuation.
+            priority: fair-share weight for the resumed job.
+
+        Returns:
+            The new job's id.
+
+        Raises:
+            TrialError: no storage attached, or unknown study name.
         """
         if self.storage is None:
             raise TrialError("server has no storage attached; pass storage= "
@@ -201,14 +294,16 @@ class AntTuneServer:
                                         pruner=pruner)
         job_id = next(self._next_job_id)
         return self._enqueue(job_id, study, objective, study_name, None,
-                             allow_stored=True)
+                             priority=priority, allow_stored=True)
 
     def _enqueue(self, job_id: int, study: Study, objective: Objective,
                  study_name: Optional[str], checkpoint_path: Optional[str],
-                 allow_stored: bool = False) -> int:
+                 priority: float = 1.0, allow_stored: bool = False) -> int:
+        if priority <= 0:
+            raise ValueError("priority must be > 0")
         workers = [f"worker-{i}" for i in range(self.num_workers)]
         job = TuneJob(job_id=job_id, study=study, objective=objective,
-                      workers=workers,
+                      workers=workers, priority=float(priority),
                       study_name=study_name or f"job-{job_id}-{self._instance_id}",
                       checkpoint_path=checkpoint_path)
         if (self.storage is not None and study_name is not None
@@ -253,33 +348,59 @@ class AntTuneServer:
 
     def _run_job(self, job: TuneJob) -> None:
         """Dispatcher-side job body: run the study, never kill the dispatcher."""
-        job.state = JobState.RUNNING
+        with job._state_lock:
+            if job.cancel_requested or job.state is JobState.CANCELLED:
+                # cancel() finalised the queued job already (or flagged it just
+                # before we started): never run its study.
+                job.state = JobState.CANCELLED
+                job._done.set()
+                return
+            job.state = JobState.RUNNING
         checkpoint_fn = None
         if self.storage is not None:
             storage, name, study = self.storage, job.study_name, job.study
             checkpoint_fn = lambda: storage.save_study(name, study,
                                                        status=JobState.RUNNING.value)
+        self._governor.register(job.job_id, job.priority)
+        executor = GovernedExecutor(self.executor, self._governor, job.job_id)
         try:
-            job.study.optimize(job.objective, executor=self.executor,
+            job.study.optimize(job.objective, executor=executor,
                                scheduler=self.scheduler,
                                worker_names=job.workers,
                                checkpoint_path=job.checkpoint_path,
                                checkpoint_fn=checkpoint_fn)
-            job.state = JobState.COMPLETED
+            # The terminal transition takes the state lock so a concurrent
+            # cancel() either lands before it (and wins: CANCELLED) or
+            # observes `finished` and reports False — never a True return
+            # against a job that finalises COMPLETED.
+            with job._state_lock:
+                job.state = (JobState.CANCELLED if job.cancel_requested
+                             else JobState.COMPLETED)
         except TrialError as exc:
-            job.state = JobState.FAILED
-            # Only the study's all-trials-failed outcome gets the classic
-            # label; other TrialErrors (e.g. a shut-down executor before any
-            # trial ran) must not masquerade as trial failures.
-            if job.study.trials and not completed_trials(job.study.trials):
-                job.error = f"every trial failed ({exc})"
-            else:
-                job.error = str(exc)
+            with job._state_lock:
+                cancelled = job.cancel_requested
+                job.state = (JobState.CANCELLED if cancelled
+                             else JobState.FAILED)
+            if not cancelled:
+                # A cancelled study may finish with zero completed trials;
+                # that is cancellation, not failure.  Only the study's
+                # all-trials-failed outcome gets the classic label; other
+                # TrialErrors (e.g. a shut-down executor before any trial
+                # ran) must not masquerade as trial failures.
+                if job.study.trials and not completed_trials(job.study.trials):
+                    job.error = f"every trial failed ({exc})"
+                else:
+                    job.error = str(exc)
         except BaseException as exc:  # noqa: BLE001 - a job must never take the
             # dispatcher thread (and with it every queued job) down with it.
-            job.state = JobState.FAILED
-            job.error = f"{type(exc).__name__}: {exc}"
+            with job._state_lock:
+                cancelled = job.cancel_requested
+                job.state = (JobState.CANCELLED if cancelled
+                             else JobState.FAILED)
+            if not cancelled:
+                job.error = f"{type(exc).__name__}: {exc}"
         finally:
+            self._governor.unregister(job.job_id)
             if self.storage is not None:
                 try:
                     self.storage.save_study(job.study_name, job.study,
@@ -290,21 +411,73 @@ class AntTuneServer:
             job._done.set()
 
     # ------------------------------------------------------------------ #
+    # Cancellation
+    # ------------------------------------------------------------------ #
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued or running job; terminal state is ``CANCELLED``.
+
+        A queued job is finalised immediately (its ``_done`` event fires and
+        its CANCELLED status persists to storage without waiting for a
+        dispatcher slot).  A running job's study observes the stop request at
+        its next scheduling tick: in-flight trials — including remote
+        process-backend ones — are killed and recorded ``CANCELLED``.
+
+        Args:
+            job_id: the job to cancel.
+
+        Returns:
+            True if the job was (or will shortly be) cancelled; False if it
+            had already finished.
+
+        Raises:
+            TrialError: unknown job id.
+        """
+        job = self._get(job_id)
+        with job._state_lock:
+            if job.finished:
+                return False
+            job.cancel_requested = True
+            finalise_queued = job.state is JobState.QUEUED
+            if finalise_queued:
+                job.state = JobState.CANCELLED
+        # Outside the state lock: the running study stops at its next tick.
+        job.study.request_stop()
+        if finalise_queued:
+            if self.storage is not None:
+                try:
+                    self.storage.save_study(job.study_name, job.study,
+                                            status=JobState.CANCELLED.value)
+                except Exception as exc:  # noqa: BLE001 - never block cancel
+                    job.error = f"storage save failed: {exc}"
+            job._done.set()
+        return True
+
+    # ------------------------------------------------------------------ #
     # Client-facing queries
     # ------------------------------------------------------------------ #
     def poll(self, job_id: int) -> Dict[str, object]:
-        """A non-blocking snapshot of one job's progress."""
+        """A non-blocking snapshot of one job's progress (see :meth:`status`)."""
         return self.status(job_id)
 
     def wait(self, job_id: int, timeout: Optional[float] = None) -> Trial:
         """Block until a job finishes and return its best trial.
 
-        Raises :class:`TrialError` if the job failed, or if ``timeout``
-        (seconds) elapses first.
+        Args:
+            job_id: the job to wait on.
+            timeout: seconds to wait before giving up (None = forever).
+
+        Returns:
+            The best completed trial.
+
+        Raises:
+            TrialError: the job failed, was cancelled, timed out, or finished
+                without any successful trial.
         """
         job = self._get(job_id)
         if not job._done.wait(timeout):
             raise TrialError(f"job {job_id} still running after {timeout}s")
+        if job.state is JobState.CANCELLED:
+            raise TrialError(f"job {job_id} was cancelled")
         if job.state is JobState.FAILED:
             raise TrialError(f"job {job_id}: {job.error}")
         try:
@@ -324,6 +497,13 @@ class AntTuneServer:
         can only take effect if the dispatcher has not picked the job up yet —
         pass it to :meth:`submit` instead; a warning is raised when it arrives
         too late to apply.
+
+        Args:
+            job_id: the job to wait on.
+            checkpoint_path: late checkpoint target (queued jobs only).
+
+        Returns:
+            The best completed trial (see :meth:`wait` for raises).
         """
         job = self._get(job_id)
         if checkpoint_path is not None:
@@ -337,7 +517,24 @@ class AntTuneServer:
         return self.wait(job_id)
 
     def status(self, job_id: int) -> Dict[str, object]:
-        """Job state plus per-trial-state counts (consistent mid-run)."""
+        """Job state plus per-trial-state counts (consistent mid-run).
+
+        Because in-flight trials stream their intermediate values live, the
+        snapshot's ``num_trials``/``states`` reflect work in progress, not
+        just finished trials.
+
+        Args:
+            job_id: the job to inspect.
+
+        Returns:
+            A dict with ``job_id``, ``state``, ``finished``, ``error``,
+            ``num_trials``, per-state ``states`` counts, ``best_value``
+            (COMPLETED trials only), ``priority``, ``workers`` and
+            ``study_name``.
+
+        Raises:
+            TrialError: unknown job id.
+        """
         job = self._get(job_id)
         study = job.study
         with study._lock:
@@ -361,6 +558,7 @@ class AntTuneServer:
             "num_trials": len(trials),
             "states": states,
             "best_value": best_value,
+            "priority": job.priority,
             "workers": list(job.workers),
             "study_name": job.study_name,
         }
@@ -380,6 +578,9 @@ class AntTuneServer:
         With ``wait=True`` (default) queued and running jobs drain on the
         existing pool first; the pool is released only afterwards, and no new
         pool can be created once the server is closed.
+
+        Args:
+            wait: block until in-flight jobs drain before closing the pool.
         """
         with self._jobs_lock:
             has_pending = any(not job.finished for job in self._jobs.values())
@@ -422,21 +623,43 @@ class AntTuneClient:
         self.server = server or AntTuneServer()
 
     def submit(self, space: SearchSpace, objective: Objective, **kwargs: object) -> int:
-        """Enqueue a job on the server and return its id (non-blocking)."""
+        """Enqueue a job on the server and return its id (non-blocking).
+
+        Keyword arguments pass through to :meth:`AntTuneServer.submit`
+        (``priority=``, ``pruner=``, ``study_name=``, ...).
+        """
         return self.server.submit(space, objective, **kwargs)
 
     def poll(self, job_id: int) -> Dict[str, object]:
+        """Non-blocking progress snapshot (see :meth:`AntTuneServer.status`)."""
         return self.server.poll(job_id)
 
     def wait(self, job_id: int, timeout: Optional[float] = None) -> Trial:
+        """Block for a job's best trial (see :meth:`AntTuneServer.wait`)."""
         return self.server.wait(job_id, timeout=timeout)
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued or running job (see :meth:`AntTuneServer.cancel`)."""
+        return self.server.cancel(job_id)
 
     def tune(self, space: SearchSpace, objective: Objective,
              algorithm: Optional[SearchAlgorithm] = None,
              config: Optional[StudyConfig] = None,
              pruner: Optional[Pruner] = None,
              rng: Optional[np.random.Generator] = None) -> Trial:
-        """Submit a job, run it to completion and return the best trial."""
+        """Submit a job, run it to completion and return the best trial.
+
+        Args:
+            space: the search space to explore.
+            objective: callable evaluated per trial.
+            algorithm: search algorithm (default RACOS seeded per job).
+            config: study limits and budget.
+            pruner: early-stopping policy.
+            rng: explicit RNG stream.
+
+        Returns:
+            The best completed trial.
+        """
         job_id = self.server.submit(space, objective, algorithm=algorithm, config=config,
                                     pruner=pruner, rng=rng)
         return self.server.wait(job_id)

@@ -12,8 +12,12 @@ a single SQLite file (stdlib ``sqlite3``, no extra dependency):
 
 Writes are transactional and serialised under an internal lock, so the tune
 server's concurrent job dispatcher threads can checkpoint different studies
-into the same storage.  A study reloaded via :meth:`load_study` in a fresh
-process resumes with only its remaining trial budget.
+into the same storage.  File-backed databases run in SQLite's WAL journal
+mode, so readers (e.g. the ``python -m repro.automl.cli`` inspection
+commands) never block behind a checkpointing writer.  A study reloaded via
+:meth:`load_study` in a fresh process resumes with only its remaining trial
+budget; a study cancelled via the server keeps its ``cancelled`` status and
+CANCELLED trial rows, and can be resumed or deleted later.
 """
 
 from __future__ import annotations
@@ -69,6 +73,12 @@ class StudyStorage:
         # studies from its dispatcher threads, not just the creating thread.
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        # WAL lets concurrent readers (CLI `list`/`show`, a second server
+        # process) proceed while a dispatcher thread checkpoints; with it,
+        # synchronous=NORMAL keeps durability at a fraction of the fsyncs.
+        # In-memory databases silently keep their own journal mode.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._lock = threading.RLock()
         # Last-persisted trial state per study, so frequent checkpoints don't
         # re-read the full trial table to find what changed.
@@ -129,6 +139,16 @@ class StudyStorage:
                                      for record in trials}
 
     def set_status(self, name: str, status: str) -> None:
+        """Update only a study's lifecycle status column.
+
+        Args:
+            name: the stored study.
+            status: the new status string (a :class:`~repro.automl.server.JobState`
+                value).
+
+        Raises:
+            TrialError: unknown study name.
+        """
         with self._lock:
             updated = self._conn.execute(
                 "UPDATE studies SET status = ?, updated_at = ? WHERE name = ?",
@@ -138,6 +158,14 @@ class StudyStorage:
             raise TrialError(f"unknown study {name!r}")
 
     def delete_study(self, name: str) -> None:
+        """Delete a study and all of its trial rows (one transaction).
+
+        Args:
+            name: the stored study.
+
+        Raises:
+            TrialError: unknown study name.
+        """
         with self._lock:
             self._conn.execute("DELETE FROM trials WHERE study_name = ?", (name,))
             deleted = self._conn.execute(
@@ -171,6 +199,7 @@ class StudyStorage:
         return [dict(row, maximize=bool(row["maximize"])) for row in rows]
 
     def study_exists(self, name: str) -> bool:
+        """Whether a study row with ``name`` is stored."""
         with self._lock:
             row = self._conn.execute(
                 "SELECT 1 FROM studies WHERE name = ?", (name,)).fetchone()
@@ -210,6 +239,7 @@ class StudyStorage:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
+        """Close the underlying SQLite connection (the storage is done with)."""
         with self._lock:
             self._conn.close()
 

@@ -5,7 +5,13 @@ objective function over a sequence of trials and keeps the full trial history.
 The systematic features described in the paper are modelled explicitly:
 
 * per-trial time limit and an overall job time limit,
-* early stopping of futureless trials (via a :class:`~repro.automl.pruners.Pruner`),
+* early stopping of futureless trials (via a :class:`~repro.automl.pruners.Pruner`)
+  — live trial telemetry streams intermediate reports back from every
+  backend, including process-pool workers, so the scheduler prunes
+  stragglers mid-run instead of waiting for their deadline,
+* cooperative cancellation (:meth:`Study.request_stop`, driven by the tune
+  server's ``cancel(job_id)``): in-flight trials stop within one scheduling
+  tick and are recorded ``CANCELLED``,
 * a fault-tolerant mechanism (failed trials are recorded and retried up to a
   configurable number of times without aborting the study),
 * parallel trial execution on a worker pool (``optimize(..., n_workers=4)``),
@@ -28,7 +34,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,7 +42,6 @@ import numpy as np
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.algorithms.racos import RACOS
 from repro.automl.executors import (
-    ProcessPoolTrialExecutor,
     TrialExecutor,
     execute_trial,
     make_executor,
@@ -101,6 +105,9 @@ class Study:
         # Monotonic id source: len(self.trials) would collide after a resume
         # drops in-flight trials out of the middle of the history.
         self._next_trial_id = 0
+        # Cooperative cancellation: set by request_stop() (e.g. the tune
+        # server's cancel(job_id)); schedulers observe it within one tick.
+        self._stop = threading.Event()
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -122,7 +129,29 @@ class Study:
         return float(self.best_trial.value)
 
     def history_records(self) -> List[Dict[str, object]]:
+        """JSON-serialisable snapshots of every trial, in creation order."""
         return [t.as_record() for t in self.trials]
+
+    # ------------------------------------------------------------------ #
+    # Cancellation
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask a running :meth:`optimize` to stop at its next scheduling tick.
+
+        In-flight trials are killed and recorded ``CANCELLED``; consumed
+        budget slots are not charged, so a later :meth:`optimize` (after
+        :meth:`reset_stop`) re-runs them.  Sticky until :meth:`reset_stop`.
+        """
+        self._stop.set()
+
+    def reset_stop(self) -> None:
+        """Clear a previous :meth:`request_stop` so the study may run again."""
+        self._stop.clear()
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether cancellation has been requested (sticky)."""
+        return self._stop.is_set()
 
     # ------------------------------------------------------------------ #
     # Optimisation loop
@@ -195,7 +224,7 @@ class Study:
                         checkpoint_fn: Optional[Callable[[], None]]) -> None:
         start_time = time.perf_counter()
         for _ in range(remaining):
-            if self._total_time_exceeded(start_time):
+            if self.stop_requested or self._total_time_exceeded(start_time):
                 break
             params = self.algorithm.ask(self.space, self.trials, self.config.maximize)
             trial = self._run_single(objective, params, worker_name)
@@ -215,12 +244,6 @@ class Study:
         owns_executor = executor is None
         executor = executor if executor is not None else make_executor(
             n_workers, backend=backend, base_seed=base_seed)
-        if (isinstance(executor, ProcessPoolTrialExecutor)
-                and not isinstance(self.pruner, NoPruner)):
-            warnings.warn(
-                "pruners cannot act inside process-pool workers: the remote "
-                "trial has no pruner attached, so trial.should_prune() always "
-                "returns False there", RuntimeWarning, stacklevel=3)
         names = list(worker_names) if worker_names else [
             f"worker-{i}" for i in range(executor.n_workers)]
         try:

@@ -1,0 +1,170 @@
+"""Tests for the ``python -m repro.automl.cli`` storage management commands."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.automl import RandomSearch, Study, StudyConfig, StudyStorage
+from repro.automl.cli import main
+from repro.automl.search_space import SearchSpace, Uniform
+
+
+@pytest.fixture
+def space():
+    return SearchSpace({"x": Uniform(0.0, 1.0)})
+
+
+def _store_study(path, name, n_trials=3, run=None, status="completed"):
+    """Persist a small study; ``run`` trials executed (default: all)."""
+    space = SearchSpace({"x": Uniform(0.0, 1.0)})
+    study = Study(space, algorithm=RandomSearch(rng=np.random.default_rng(0)),
+                  config=StudyConfig(n_trials=n_trials),
+                  rng=np.random.default_rng(0))
+    if run is None:
+        run = n_trials
+    if run:
+        budget = study.config
+        study.config = StudyConfig(n_trials=run)
+        study.optimize(lambda t: t.params["x"])
+        study.config = budget
+    with StudyStorage(path) as storage:
+        storage.save_study(name, study, status=status)
+    return study
+
+
+def _run_cli(*argv):
+    lines = []
+    code = main(list(argv), out=lines.append)
+    return code, "\n".join(lines)
+
+
+def _empty_db(tmp_path, name="empty.db"):
+    path = str(tmp_path / name)
+    StudyStorage(path).close()
+    return path
+
+
+class TestListShow:
+    def test_list_empty(self, tmp_path):
+        code, output = _run_cli("--db", _empty_db(tmp_path), "list")
+        assert code == 0
+        assert "no studies stored" in output
+
+    def test_missing_database_file_errors_instead_of_creating(self, tmp_path):
+        missing = tmp_path / "typo.db"
+        code, output = _run_cli("--db", str(missing), "list")
+        assert code == 1
+        assert "no such database" in output
+        assert not missing.exists()  # nothing silently created
+
+    def test_list_shows_stored_studies(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        _store_study(path, "alpha")
+        _store_study(path, "beta", status="running")
+        code, output = _run_cli("--db", path, "list")
+        assert code == 0
+        assert "alpha" in output and "beta" in output
+        assert "completed" in output and "running" in output
+
+    def test_show_lists_trials(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        study = _store_study(path, "alpha")
+        code, output = _run_cli("--db", path, "show", "alpha")
+        assert code == 0
+        assert "study:      alpha" in output
+        for trial in study.trials:
+            assert str(trial.trial_id) in output
+        assert "completed" in output
+
+    def test_show_unknown_study_fails(self, tmp_path):
+        code, output = _run_cli("--db", _empty_db(tmp_path), "show", "nope")
+        assert code == 1
+        assert "error" in output
+
+
+class TestDelete:
+    def test_delete_with_yes(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        _store_study(path, "doomed")
+        code, output = _run_cli("--db", path, "delete", "doomed", "--yes")
+        assert code == 0
+        with StudyStorage(path) as storage:
+            assert not storage.study_exists("doomed")
+
+    def test_delete_unknown_fails(self, tmp_path):
+        code, output = _run_cli("--db", _empty_db(tmp_path),
+                                "delete", "nope", "--yes")
+        assert code == 1
+        assert "error" in output
+
+
+class TestResume:
+    @pytest.fixture
+    def helper_module(self, tmp_path, monkeypatch):
+        # The CLI imports space/objective from module:attribute references;
+        # code is never persisted.  Drop a helper module on sys.path.
+        module_dir = tmp_path / "modules"
+        module_dir.mkdir()
+        (module_dir / "cli_helper.py").write_text(textwrap.dedent("""
+            from repro.automl.search_space import SearchSpace, Uniform
+
+            SPACE = SearchSpace({"x": Uniform(0.0, 1.0)})
+
+            def objective(trial):
+                return trial.params["x"]
+        """))
+        monkeypatch.syspath_prepend(str(module_dir))
+        yield "cli_helper"
+        sys.modules.pop("cli_helper", None)
+
+    def test_resume_runs_remaining_budget(self, tmp_path, helper_module):
+        path = str(tmp_path / "s.db")
+        # 2 of 5 trials ran before the "crash"; resume must run the other 3.
+        _store_study(path, "partial", n_trials=5, run=2, status="failed")
+        code, output = _run_cli(
+            "--db", path, "resume", "partial",
+            "--space", f"{helper_module}:SPACE",
+            "--objective", f"{helper_module}:objective",
+            "--algorithm", "repro.automl:RandomSearch")
+        assert code == 0, output
+        assert "3 of 5 trial slots left" in output
+        assert "best value" in output
+        with StudyStorage(path) as storage:
+            listed = {row["name"]: row for row in storage.list_studies()}
+            assert listed["partial"]["status"] == "completed"
+            assert listed["partial"]["completed"] == 5
+
+    def test_resume_with_exhausted_budget(self, tmp_path, helper_module):
+        path = str(tmp_path / "s.db")
+        _store_study(path, "done", n_trials=2, run=2, status="completed")
+        code, output = _run_cli(
+            "--db", path, "resume", "done",
+            "--space", f"{helper_module}:SPACE",
+            "--objective", f"{helper_module}:objective",
+            "--algorithm", "repro.automl:RandomSearch")
+        assert code == 0
+        assert "no remaining trial budget" in output
+
+    def test_bad_import_spec_exits(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        _store_study(path, "x")
+        with pytest.raises(SystemExit):
+            main(["--db", path, "resume", "x",
+                  "--space", "not-a-spec", "--objective", "also:bad:spec"],
+                 out=lambda line: None)
+
+
+class TestEntrypoint:
+    def test_module_is_runnable(self, tmp_path):
+        import subprocess
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.automl.cli",
+             "--db", _empty_db(tmp_path, "e.db"), "list"],
+            capture_output=True, text=True, timeout=60)
+        assert result.returncode == 0, result.stderr
+        assert "no studies stored" in result.stdout

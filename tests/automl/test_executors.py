@@ -178,14 +178,21 @@ class TestProcessPool:
         assert len(rngs) == 2
         assert rngs[0] is not rngs[1]
 
-    def test_pruner_on_process_backend_warns(self, space):
+    def test_pruner_on_process_backend_no_longer_warns(self, space):
+        # Live telemetry feeds the pruner from process workers now, so the
+        # old "pruners cannot act inside process-pool workers" warning is
+        # gone — a pruner on the process backend is fully supported.
+        import warnings as warnings_module
+
         from repro.automl import MedianPruner
 
         study = Study(space, algorithm=RandomSearch(rng=np.random.default_rng(0)),
                       config=StudyConfig(n_trials=2), pruner=MedianPruner(),
                       rng=np.random.default_rng(0))
-        with pytest.warns(RuntimeWarning, match="process-pool workers"):
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
             study.optimize(_picklable_objective, n_workers=2, backend="process")
+        assert all(t.state == TrialState.COMPLETED for t in study.trials)
 
     def test_executor_survives_pool_shutdown(self, space):
         executor = ProcessPoolTrialExecutor(2)

@@ -1,0 +1,55 @@
+"""The docs tree stays healthy: snippets compile, cross-links resolve.
+
+Runs the same checks as the CI ``docs`` job (``python tools/check_docs.py``)
+so a broken snippet or link fails tier-1 locally, before CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    assert (REPO_ROOT / "docs" / "api.md").exists()
+
+
+def test_doc_snippets_compile_and_links_resolve():
+    checker = _load_checker()
+    findings = []
+    count = checker.run_checks(out=findings.append)
+    assert count == 0, "\n".join(findings)
+
+
+def test_checker_catches_bad_snippet(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\ndef broken(:\n```\n")
+    findings = checker.check_python_snippets(bad)
+    assert len(findings) == 1
+    assert "does not compile" in findings[0]
+    good = tmp_path / "good.md"
+    good.write_text("```python\nx = 1\n```\n\n```bash\nnot python {\n```\n")
+    assert checker.check_python_snippets(good) == []
+
+
+def test_checker_catches_broken_link(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Title\n\nsee [other](missing.md) and "
+                   "[anchor](#no-such-heading)\n")
+    findings = checker.check_links(doc)
+    assert len(findings) == 2
+    assert any("missing.md" in f for f in findings)
+    assert any("no-such-heading" in f for f in findings)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Documentation checker: snippets must compile, local links must resolve.
+
+Run from the repository root (the CI ``docs`` job does)::
+
+    python tools/check_docs.py
+
+Two checks over ``README.md`` and every ``docs/*.md``:
+
+* every fenced ```` ```python ```` code block must compile (``compile(...)``
+  — syntax only, nothing is executed, so snippets may reference files or
+  servers that don't exist here);
+* every relative markdown link target (``[text](path)`` where ``path`` is
+  not an URL or a bare ``#anchor``) must exist on disk, and an in-repo
+  ``#anchor`` into a markdown file must match one of its headings.
+
+Exit code 0 when clean; 1 with one line per finding otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Callable, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# [text](target) — excluding images handled the same way; ignore URLs later.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative display path; foreign paths (tests) print as-is."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def doc_files() -> List[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _heading_anchor(line: str) -> str:
+    """GitHub-style anchor for a markdown heading line."""
+    text = line.lstrip("#").strip().lower()
+    text = re.sub(r"[`*]", "", text)  # formatting only; underscores survive
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def check_python_snippets(path: Path) -> List[str]:
+    """Compile every ```python fenced block of ``path``; return findings."""
+    findings = []
+    lines = path.read_text().splitlines()
+    block: List[str] = []
+    block_start = 0
+    language = None
+    for lineno, line in enumerate(lines, start=1):
+        fence = FENCE_RE.match(line.strip())
+        if fence and language is None:
+            language = fence.group(1).lower()
+            block, block_start = [], lineno + 1
+            continue
+        if line.strip() == "```" and language is not None:
+            if language == "python" and block:
+                source = "\n".join(block)
+                try:
+                    compile(source, f"{path.name}:{block_start}", "exec")
+                except SyntaxError as exc:
+                    findings.append(
+                        f"{_rel(path)}:{block_start}: "
+                        f"python snippet does not compile: {exc.msg} "
+                        f"(line {block_start + (exc.lineno or 1) - 1})")
+            language = None
+            continue
+        if language is not None:
+            block.append(line)
+    if language is not None:
+        findings.append(f"{_rel(path)}: unclosed code fence")
+    return findings
+
+
+def check_links(path: Path) -> List[str]:
+    """Resolve every relative link of ``path``; return findings."""
+    findings = []
+    text = path.read_text()
+    anchors_cache = {}
+
+    def anchors_of(markdown: Path) -> set:
+        if markdown not in anchors_cache:
+            anchors = set()
+            in_fence = False
+            for line in markdown.read_text().splitlines():
+                if line.strip().startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                # '#' inside a code fence is a comment, not a heading.
+                if not in_fence and line.startswith("#"):
+                    anchors.add(_heading_anchor(line))
+            anchors_cache[markdown] = anchors
+        return anchors_cache[markdown]
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        rel = _rel(path)
+        base, _, fragment = target.partition("#")
+        if not base:  # same-file anchor
+            if fragment and fragment not in anchors_of(path):
+                findings.append(f"{rel}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            findings.append(f"{rel}: broken link {target!r} "
+                            f"({_rel(resolved)} missing)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                findings.append(
+                    f"{rel}: link {target!r} points at missing anchor "
+                    f"#{fragment} in {base}")
+    return findings
+
+
+def run_checks(out: Callable[[str], None] = print) -> int:
+    """Run both checks over every doc file; return the number of findings."""
+    findings: List[str] = []
+    for path in doc_files():
+        findings.extend(check_python_snippets(path))
+        findings.extend(check_links(path))
+    for finding in findings:
+        out(finding)
+    if not findings:
+        out(f"docs OK: {len(doc_files())} files checked")
+    return len(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(1 if run_checks() else 0)
