@@ -8,6 +8,16 @@ from repro.automl.algorithms import (
     RandomSearch,
     SearchAlgorithm,
 )
+from repro.automl.events import (
+    EventBus,
+    JobStateChanged,
+    Subscription,
+    TrialEvent,
+    TrialFinished,
+    TrialKilled,
+    TrialReport,
+    TrialStarted,
+)
 from repro.automl.executors import (
     ProcessPoolTrialExecutor,
     SynchronousExecutor,
@@ -30,6 +40,7 @@ from repro.automl.scheduler import (
 from repro.automl.search_space import Choice, IntUniform, LogUniform, ParamSpec, SearchSpace, Uniform
 from repro.automl.server import AntTuneClient, AntTuneServer, JobState, TuneJob
 from repro.automl.storage import StudyStorage
+from repro.automl.transport import TelemetryTransport
 from repro.automl.study import Study, StudyConfig
 from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
 
@@ -58,8 +69,17 @@ __all__ = [
     "AsyncScheduler",
     "make_scheduler",
     "TelemetryMonitor",
+    "TelemetryTransport",
     "FairShareGovernor",
     "GovernedExecutor",
+    "EventBus",
+    "Subscription",
+    "TrialEvent",
+    "TrialStarted",
+    "TrialReport",
+    "TrialKilled",
+    "TrialFinished",
+    "JobStateChanged",
     "Pruner",
     "NoPruner",
     "MedianPruner",

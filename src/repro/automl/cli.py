@@ -9,13 +9,16 @@ view onto that file::
     python -m repro.automl.cli --db anttune.db resume my-study \
         --space mypkg.search:SPACE --objective mypkg.search:objective
     python -m repro.automl.cli --db anttune.db delete my-study --yes
+    python -m repro.automl.cli --db anttune.db gc --max-age-days 30 --dry-run
 
 ``list`` and ``show`` are read-only (WAL mode lets them run while a server
 checkpoints into the same file).  ``resume`` re-runs a study's remaining
 trial budget: because only *state* is persisted — never code — the search
 space and objective are imported from ``module:attribute`` references the
 caller provides.  ``delete`` drops a study and its trial rows after a
-confirmation prompt (``--yes`` skips it).
+confirmation prompt (``--yes`` skips it).  ``gc`` bulk-deletes terminal
+studies older than ``--max-age-days`` (``--dry-run`` previews, ``--states``
+narrows the statuses, ``--yes`` skips the prompt).
 """
 
 from __future__ import annotations
@@ -158,6 +161,41 @@ def _cmd_delete(storage: StudyStorage, args: argparse.Namespace,
     return 0
 
 
+def _cmd_gc(storage: StudyStorage, args: argparse.Namespace,
+            out: Callable[[str], None]) -> int:
+    states = ([s.strip() for s in args.states.split(",") if s.strip()]
+              if args.states else None)
+    try:
+        candidates = storage.gc(max_age_days=args.max_age_days, states=states,
+                                dry_run=True)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    if not candidates:
+        out("nothing to collect")
+        return 0
+    label = "would delete" if args.dry_run else "deleting"
+    out(f"{label} {len(candidates)} study(ies):")
+    for name in candidates:
+        out(f"  {name}")
+    if args.dry_run:
+        return 0
+    if not args.yes:
+        answer = input(f"delete these {len(candidates)} study(ies) and all "
+                       f"their trials? [y/N] ")
+        if answer.strip().lower() not in ("y", "yes"):
+            out("aborted")
+            return 1
+    # Delete at most the names the user saw (and confirmed), re-checked
+    # against the age/status predicate in the same transaction: a study that
+    # crossed the cutoff while the prompt waited is not collected, and one
+    # that was resumed (running again) or deleted meanwhile is skipped.
+    deleted = storage.gc(max_age_days=args.max_age_days, states=states,
+                         names=candidates)
+    out(f"deleted {len(deleted)} study(ies)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.automl.cli`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -193,6 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
     delete.add_argument("name", help="study name")
     delete.add_argument("--yes", action="store_true",
                         help="skip the confirmation prompt")
+
+    gc = sub.add_parser(
+        "gc", help="bulk-delete old terminal studies (and their trials)")
+    gc.add_argument("--max-age-days", type=float, default=30.0,
+                    help="collect studies not updated for this many days "
+                         "(default: %(default)s; 0 collects regardless of age)")
+    gc.add_argument("--states", metavar="S1,S2,...",
+                    help="comma-separated statuses eligible for collection "
+                         "(default: completed,failed,cancelled)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="only report what would be deleted")
+    gc.add_argument("--yes", action="store_true",
+                    help="skip the confirmation prompt")
     return parser
 
 
@@ -209,7 +260,7 @@ def main(argv: Optional[Sequence[str]] = None,
     """
     args = build_parser().parse_args(argv)
     commands = {"list": _cmd_list, "show": _cmd_show,
-                "resume": _cmd_resume, "delete": _cmd_delete}
+                "resume": _cmd_resume, "delete": _cmd_delete, "gc": _cmd_gc}
     if args.db != ":memory:" and not Path(args.db).exists():
         # Opening a mistyped path would silently create an empty database
         # and report "no studies stored" — error out instead.

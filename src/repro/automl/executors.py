@@ -25,17 +25,19 @@ Live trial telemetry
 Every executor exposes the same two telemetry hooks, so schedulers treat all
 backends uniformly:
 
-* :meth:`TrialExecutor.pump_telemetry` mirrors intermediate values reported
+* :meth:`TrialExecutor.drain_telemetry` mirrors intermediate values reported
   by in-flight trials into the caller's :class:`~repro.automl.trial.Trial`
   objects.  Thread and sync backends share the trial object with the
-  objective, so reports land directly and the pump is a no-op; the process
-  backend streams ``(ticket, step, value)`` messages over a
-  ``multiprocessing`` queue and the pump drains them.
-* :meth:`TrialExecutor.kill_trial` delivers a kill signal (deadline, prune or
-  cancel).  Local backends mark the shared trial; the process backend also
-  writes the ticket into a kill map shared with the workers, whose next
-  ``trial.report(...)`` raises — so a pruned or cancelled remote trial stops
-  at its next report instead of running to its deadline.
+  objective, so reports land directly and the drain is a no-op; the process
+  backend streams ``(ticket, step, value)`` records through a shared-memory
+  ring (:class:`~repro.automl.transport.TelemetryTransport`) and the drain
+  empties it.
+* :meth:`TrialExecutor.kill_trial` delivers a kill signal (deadline, prune,
+  cancel or preempt).  Local backends mark the shared trial; the process
+  backend also sets the submission's kill flag in the shared-memory
+  transport, which the remote worker reads (one array load, no RPC) on every
+  ``trial.report(...)`` — so a killed remote trial stops at its next report
+  instead of running to its deadline.
 
 Executors only *run* trials; proposing configurations (``ask``) and feeding
 results back into the search algorithm (``tell``) stay inside the study, which
@@ -48,7 +50,6 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
-import queue as queue_module
 import threading
 import time
 import traceback
@@ -66,6 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 import numpy as np
 
+from repro.automl.transport import TelemetryTransport
 from repro.automl.trial import (
     KILL_CANCELLED,
     KILL_DEADLINE,
@@ -229,16 +231,41 @@ class TrialExecutor:
     # ------------------------------------------------------------------ #
     # Live telemetry
     # ------------------------------------------------------------------ #
-    def pump_telemetry(self) -> int:
+    def drain_telemetry(self) -> int:
         """Mirror streamed intermediate reports into the local trials.
 
         Thread and sync backends share trial objects with the objective, so
-        reports are already visible and the pump is a no-op; the process
-        backend overrides this to drain its uplink queue.
+        reports are already visible and the drain is a no-op; the process
+        backend overrides this to empty its shared-memory report ring.
 
         Returns:
             The number of reports mirrored by this call.
         """
+        # A legacy subclass may still override pump_telemetry (the hook's
+        # previous name): delegate so its telemetry keeps draining.
+        pump = type(self).pump_telemetry
+        if pump is not TrialExecutor.pump_telemetry:
+            return pump(self)
+        return 0
+
+    def pump_telemetry(self) -> int:
+        """Deprecated alias of :meth:`drain_telemetry` (kept from PR 3).
+
+        Works in both directions for direct extensions of this base class:
+        legacy *callers* of ``pump_telemetry`` reach a modern
+        ``drain_telemetry`` override, and legacy *overriders* of
+        ``pump_telemetry`` are still invoked by the base
+        ``drain_telemetry``.  Each base method only ever delegates to an
+        actual subclass override of the other name, so a legacy override
+        calling ``super().pump_telemetry()`` gets PR 3's base behaviour
+        (0) instead of recursing.  Caveat: a subclass of a *concrete*
+        executor (e.g. :class:`ProcessPoolTrialExecutor`) that overrides
+        only ``pump_telemetry`` is not reached by the parent's
+        ``drain_telemetry`` — augment ``drain_telemetry`` instead.
+        """
+        drain = type(self).drain_telemetry
+        if drain is not TrialExecutor.drain_telemetry:
+            return drain(self)
         return 0
 
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
@@ -250,7 +277,8 @@ class TrialExecutor:
         Args:
             trial: the trial to stop.
             reason: a kill reason from :mod:`repro.automl.trial`
-                (``KILL_DEADLINE``, ``KILL_PRUNED`` or ``KILL_CANCELLED``).
+                (``KILL_DEADLINE``, ``KILL_PRUNED``, ``KILL_CANCELLED`` or
+                ``KILL_PREEMPTED``).
         """
         trial.kill(reason)
 
@@ -479,29 +507,27 @@ class ThreadPoolTrialExecutor(TrialExecutor):
 # --------------------------------------------------------------------------- #
 _WORKER_RNG: Optional[np.random.Generator] = None
 _THREAD_RNGS = threading.local()
-# Telemetry endpoints inside a worker process (set by the pool initializer):
-# the uplink queue streams (ticket, step, value) reports to the parent, the
-# kill map is scanned on every report for prune/cancel signals.
-_WORKER_UPLINK = None
-_WORKER_KILLS = None
+# Telemetry endpoint inside a worker process (set by the pool initializer):
+# the shared-memory transport carries (ticket, step, value) reports up and
+# per-submission kill flags down (read on every report, one array load).
+_WORKER_TRANSPORT: Optional[TelemetryTransport] = None
 
 
 def _init_process_worker(base_seed: int, worker_counter: "Synchronized",
-                         uplink=None, kills=None) -> None:
+                         transport: Optional[TelemetryTransport] = None) -> None:
     """Process-pool initializer: derive this worker's RNG, wire telemetry.
 
     The shared counter hands each worker a deterministic index 0..n-1, so for
     a fixed ``base_seed`` the pool's RNG streams are reproducible across runs
-    (pids are not).  ``uplink``/``kills`` are the telemetry endpoints shared
-    with the parent process.
+    (pids are not).  ``transport`` is the shared-memory telemetry channel to
+    the parent process.
     """
-    global _WORKER_RNG, _WORKER_UPLINK, _WORKER_KILLS
+    global _WORKER_RNG, _WORKER_TRANSPORT
     with worker_counter.get_lock():
         worker_index = worker_counter.value
         worker_counter.value += 1
     _WORKER_RNG = np.random.default_rng([int(base_seed), worker_index])
-    _WORKER_UPLINK = uplink
-    _WORKER_KILLS = kills
+    _WORKER_TRANSPORT = transport
 
 
 def worker_rng() -> np.random.Generator:
@@ -527,33 +553,31 @@ def worker_rng() -> np.random.Generator:
     return rng
 
 
-def _telemetry_hook(ticket: int):
+def _telemetry_hook(ticket: int, kill_slot: int):
     """Worker-side report hook: stream the value up, observe kill signals."""
     def _hook(trial: Trial, value: float, step: Optional[int]) -> None:
-        if _WORKER_UPLINK is not None:
-            try:
-                _WORKER_UPLINK.put(
-                    (ticket, len(trial.intermediate_values) - 1, value))
-            except Exception:  # noqa: BLE001 - a torn-down parent queue must
-                pass           # never crash a worker mid-objective.
-        if _WORKER_KILLS is not None:
-            try:
-                reason = _WORKER_KILLS.get(ticket)
-            except Exception:  # noqa: BLE001 - manager already shut down
-                reason = None
-            if reason is not None:
-                trial.kill(reason)
-                trial._raise_if_killed()
+        transport = _WORKER_TRANSPORT
+        if transport is None:
+            return
+        try:
+            transport.push(ticket, len(trial.intermediate_values) - 1, value)
+        except Exception:  # noqa: BLE001 - a torn-down parent transport must
+            pass           # never crash a worker mid-objective.
+        reason = transport.kill_reason(kill_slot)
+        if reason is not None:
+            trial.kill(reason)
+            trial._raise_if_killed()
     return _hook
 
 
 def _run_trial_in_process(objective: Objective, params: Dict[str, object],
-                          trial_id: int, ticket: int, worker: Optional[str],
+                          trial_id: int, ticket: int, kill_slot: int,
+                          worker: Optional[str],
                           trial_time_limit: Optional[float]) -> Dict[str, object]:
     """Worker-side entry point: rebuild the trial, run it, ship the record back."""
     trial = Trial(trial_id=trial_id, params=params, worker=worker,
                   state=TrialState.RUNNING)
-    trial._report_hook = _telemetry_hook(ticket)
+    trial._report_hook = _telemetry_hook(ticket, kill_slot)
     execute_trial(objective, trial, trial_time_limit)
     return trial.as_record()
 
@@ -589,14 +613,16 @@ class ProcessPoolTrialExecutor(TrialExecutor):
 
     Objectives and their parameters must be picklable.  The remote trial is a
     fresh object in the worker process, but it is *not* blind any more: every
-    ``trial.report(...)`` streams ``(ticket, step, value)`` back over a
-    ``multiprocessing`` queue, :meth:`pump_telemetry` mirrors those values
-    into the caller's trial objects mid-run, and :meth:`kill_trial` writes a
-    kill reason into a map shared with the workers so the remote objective's
-    next report raises and the trial stops early (pruning, cancellation,
-    deadlines).  A broken pool (worker killed hard) is rebuilt transparently
-    and the affected trials are recorded as FAILED, which the study's retry
-    logic resubmits.
+    ``trial.report(...)`` pushes ``(ticket, step, value)`` into a
+    shared-memory ring (:class:`~repro.automl.transport.TelemetryTransport`),
+    :meth:`drain_telemetry` mirrors those values into the caller's trial
+    objects mid-run, and :meth:`kill_trial` sets the submission's kill flag in
+    the same transport so the remote objective's next report raises and the
+    trial stops early (pruning, cancellation, deadlines, preemption).  There
+    is no Manager proxy and no per-report RPC: the worker's kill check is a
+    single shared-array read.  A broken pool (worker killed hard) is rebuilt
+    transparently and the affected trials are recorded as FAILED, which the
+    study's retry logic resubmits.
     """
 
     def __init__(self, n_workers: int, base_seed: int = 0) -> None:
@@ -614,50 +640,72 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         self._ticket_counter = itertools.count()
         self._live: Dict[int, Trial] = {}            # ticket -> local trial
         self._ticket_by_trial: Dict[int, int] = {}   # id(trial) -> ticket
-        self._manager = None                         # backs the kill map
-        self._kills = None                           # ticket -> kill reason
-        self._uplink = None                          # worker -> parent reports
+        # ticket -> (owning transport, kill slot): the transport reference is
+        # kept per submission so a pool rebuild mid-flight can't release or
+        # set a stale slot against the *new* transport's table.
+        self._slot_by_ticket: Dict[int, tuple] = {}
+        # Kills that raced submit() before its kill slot was assigned: the
+        # reason parks here and is applied the moment the slot exists, so the
+        # remote signal is never lost in that window.
+        self._pending_kills: Dict[int, str] = {}
+        self._transport: Optional[TelemetryTransport] = None
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self) -> "tuple[ProcessPoolExecutor, TelemetryTransport]":
+        """The live (pool, transport) pair, created together.
+
+        Returned as a pair read under one lock hold: a concurrent rebuild
+        must never let a submission pair the old pool with the new
+        transport's kill slots (the worker would watch the wrong table).
+        """
         with self._pool_lock:
             if self._closed:
                 raise TrialExecutorClosed("executor has been closed")
             if self._pool is None:
                 ctx = multiprocessing.get_context()
-                self._manager = ctx.Manager()
-                self._kills = self._manager.dict()
-                self._uplink = ctx.Queue()
+                self._transport = TelemetryTransport(ctx=ctx)
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.n_workers,
                     initializer=_init_process_worker,
                     initargs=(self.base_seed, ctx.Value("i", 0),
-                              self._uplink, self._kills))
-            return self._pool
+                              self._transport))
+            return self._pool, self._transport
 
     def _discard_pool(self) -> None:
         with self._pool_lock:
             pool, self._pool = self._pool, None
-            manager, self._manager = self._manager, None
-            self._kills = None
-            uplink, self._uplink = self._uplink, None
+            self._transport = None
         if pool is not None:
             pool.shutdown(wait=False)
-        if uplink is not None:
-            uplink.cancel_join_thread()
-            uplink.close()
-        if manager is not None:
-            manager.shutdown()
+        # The transport's shared memory is released with its last reference
+        # (parent dict entries above, worker globals when the pool dies).
 
     def _submit_raw(self, objective: Objective, trial: Trial, ticket: int,
                     trial_time_limit: Optional[float]) -> Future:
-        args = (objective, dict(trial.params), trial.trial_id, ticket,
-                trial.worker, trial_time_limit)
+        def args(pool_transport: Optional[TelemetryTransport]) -> tuple:
+            # Slots are allocated per attempt from the transport created
+            # *with* the pool being submitted to (a rebuilt pool gets a
+            # fresh transport, and mixing the two would point the worker at
+            # the wrong kill table).
+            slot = (-1 if pool_transport is None
+                    else pool_transport.allocate_kill_slot())
+            with self._telemetry_lock:
+                self._slot_by_ticket[ticket] = (pool_transport, slot)
+                # A kill that raced us before the slot existed lands now
+                # (trial.kill_reason also covers a kill consumed by a first
+                # submit attempt whose pool then broke and was rebuilt).
+                reason = self._pending_kills.pop(ticket, None) or trial.kill_reason
+                if reason is not None and pool_transport is not None:
+                    pool_transport.set_kill(slot, reason)
+            return (objective, dict(trial.params), trial.trial_id, ticket,
+                    slot, trial.worker, trial_time_limit)
         try:
-            return self._ensure_pool().submit(_run_trial_in_process, *args)
+            pool, transport = self._ensure_pool()
+            return pool.submit(_run_trial_in_process, *args(transport))
         except RuntimeError:
             # BrokenProcessPool subclasses RuntimeError; rebuild once.
             self._discard_pool()
-            return self._ensure_pool().submit(_run_trial_in_process, *args)
+            pool, transport = self._ensure_pool()
+            return pool.submit(_run_trial_in_process, *args(transport))
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
@@ -687,62 +735,72 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         with self._telemetry_lock:
             self._live.pop(ticket, None)
             self._ticket_by_trial.pop(id(trial), None)
-            kills = self._kills
-        if kills is not None:
-            try:
-                kills.pop(ticket, None)
-            except Exception:  # noqa: BLE001 - manager already shut down
-                pass
+            self._pending_kills.pop(ticket, None)
+            transport, slot = self._slot_by_ticket.pop(ticket, (None, -1))
+        if transport is not None:
+            transport.release_kill_slot(slot)
 
-    def pump_telemetry(self) -> int:
-        """Drain the uplink queue, mirroring reports into local trials.
+    def drain_telemetry(self) -> int:
+        """Empty the shared-memory report ring, mirroring into local trials.
 
         Returns:
             The number of reports mirrored by this call.
         """
         with self._pool_lock:
-            uplink = self._uplink
-        if uplink is None:
+            transport = self._transport
+        if transport is None:
             return 0
         mirrored = 0
-        while True:
-            try:
-                ticket, step, value = uplink.get_nowait()
-            except queue_module.Empty:
-                break
-            except (OSError, ValueError, EOFError):
-                break  # queue torn down under us (pool rebuild/shutdown)
-            with self._telemetry_lock:
+        # One lock hold for the whole batch — and the drain itself happens
+        # under it: two schedulers sharing this executor both tick, and
+        # draining outside the lock would let their batches apply out of
+        # order (later steps first), NaN-padding over real values.  Workers
+        # pushing only contend for the transport's own lock, never this one.
+        with self._telemetry_lock:
+            for ticket, step, value in transport.drain():
                 trial = self._live.get(ticket)
                 if trial is None:
                     continue  # late report from an already-merged trial
                 with trial._state_lock:
                     # The final record replaces the whole list on merge; until
-                    # then mirror in order, skipping duplicates defensively.
+                    # then mirror in step order.  A gap means ring overflow
+                    # shed this trial's older records: pad the missing steps
+                    # with NaN so the surviving report keeps its *true* index
+                    # (the pruner and TrialReport steps stay honest, and
+                    # mirroring keeps working after a burst) — the
+                    # authoritative final record backfills the pads on merge.
                     if (not trial.is_finished
-                            and step == len(trial.intermediate_values)):
-                        trial.intermediate_values.append(float(value))
+                            and step >= len(trial.intermediate_values)):
+                        values = trial.intermediate_values
+                        while len(values) < step:
+                            values.append(float("nan"))
+                        values.append(float(value))
                         mirrored += 1
         return mirrored
 
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
-        """Kill locally and signal the remote worker via the shared kill map."""
+        """Kill locally and signal the remote worker via the shared kill flag."""
         trial.kill(reason)
         with self._telemetry_lock:
             ticket = self._ticket_by_trial.get(id(trial))
-            kills = self._kills
-            if ticket is None or kills is None or ticket not in self._live:
-                # Already merged (or pool torn down): writing the kill entry
-                # now would leak it forever — _forget() has run or will never
-                # see this ticket again.
+            if ticket is None or ticket not in self._live:
+                # Already merged: the flag's slot has been (or is being)
+                # recycled — setting it now could kill an unrelated later
+                # submission.
                 return
-            try:
-                # Written under the lock: _forget() pops _live under the same
-                # lock first, so either it sees our entry and cleans it, or
-                # we saw the ticket gone and skipped the write.
-                kills[ticket] = reason
-            except Exception:  # noqa: BLE001 - manager already shut down
-                pass
+            entry = self._slot_by_ticket.get(ticket)
+            if entry is None:
+                # submit() registered the ticket but has not assigned its
+                # kill slot yet: park the reason; args() applies it as soon
+                # as the slot exists, so the remote signal is never lost.
+                self._pending_kills[ticket] = reason
+                return
+            transport, slot = entry
+            # Set under the lock: _forget() pops the slot under the same lock
+            # first, so either it sees our entry and clears the flag on
+            # release, or we saw the ticket gone and skipped the write.
+            if transport is not None:
+                transport.set_kill(slot, reason)
 
     def _merge_into(self, trial: Trial, ticket: int,
                     merged: _MergedFuture) -> Callable[[Future], None]:
@@ -781,7 +839,7 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         return _done
 
     def shutdown(self) -> None:
-        """Release the pool, manager and telemetry channel (rebuilt on demand)."""
+        """Release the pool and telemetry transport (rebuilt on demand)."""
         self._discard_pool()
 
     def close(self) -> None:

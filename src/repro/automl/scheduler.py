@@ -20,12 +20,18 @@ resubmitted up to ``max_retries`` times without consuming extra budget slots),
 per-trial deadlines and the total time limit.  On every refill tick they also:
 
 * **drain live telemetry** (:class:`TelemetryMonitor`) — intermediate values
-  streamed back by in-flight trials (including process-backend ones) are fed
-  to the study's pruner, and a futureless trial is killed mid-run instead of
-  running to its deadline;
+  streamed back by in-flight trials (including process-backend ones, over the
+  shared-memory transport) are published to the study's event sink as
+  :class:`~repro.automl.events.TrialReport` events and fed to the study's
+  pruner; a futureless trial is killed mid-run instead of running to its
+  deadline;
 * **observe cancellation** — a :meth:`Study.request_stop` (e.g. the tune
   server's ``cancel(job_id)``) expires everything in flight with the
-  ``CANCELLED`` terminal state within one tick.
+  ``CANCELLED`` terminal state within one tick;
+* **requeue preempted trials** — a trial killed with
+  :data:`~repro.automl.trial.KILL_PREEMPTED` (the tune server yielding slots
+  to a ``preempt=True`` high-priority job) is resubmitted with the same
+  configuration, without charging a budget slot or a retry.
 
 Fair sharing of one pool between jobs is provided by
 :class:`FairShareGovernor` and :class:`GovernedExecutor`: the governor
@@ -43,6 +49,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.automl.events import TrialKilled, TrialReport
 from repro.automl.executors import (
     STARVATION_GRACE_FACTOR,
     TICK_INTERVAL,
@@ -50,7 +57,15 @@ from repro.automl.executors import (
     expire_trial,
 )
 from repro.automl.pruners import NoPruner
-from repro.automl.trial import KILL_CANCELLED, KILL_DEADLINE, KILL_PRUNED, Trial, TrialState
+from repro.automl.trial import (
+    KILL_CANCELLED,
+    KILL_DEADLINE,
+    KILL_PREEMPTED,
+    KILL_PRUNED,
+    KILLED_STATES,
+    Trial,
+    TrialState,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.automl.study import Study
@@ -71,55 +86,104 @@ SchedulerLike = Union[None, str, "TrialScheduler"]
 
 
 class TelemetryMonitor:
-    """Feeds live intermediate reports to the study's pruner between ticks.
+    """Turns live telemetry into events and prune decisions between ticks.
 
-    Schedulers call :meth:`observe` on every refill tick: the executor's
-    telemetry is pumped (mirroring process-backend reports into the local
-    trial objects), and any trial with new reports is judged by the study's
+    Schedulers call :meth:`observe` on every refill tick.  The executor's
+    telemetry is drained (mirroring process-backend reports into the local
+    trial objects through the shared-memory transport), every newly visible
+    intermediate value is published to the study's event sink as a
+    :class:`~repro.automl.events.TrialReport` — one ordered stream regardless
+    of backend — and any trial with new reports is judged by the study's
     pruner.  A futureless trial is killed with
-    :data:`~repro.automl.trial.KILL_PRUNED`, which its objective observes at
-    the next ``report()`` — so even a remote straggler stops mid-run.
+    :data:`~repro.automl.trial.KILL_PRUNED` (published as
+    :class:`~repro.automl.events.TrialKilled`), which its objective observes
+    at the next ``report()`` — so even a remote straggler stops mid-run.
 
-    With a :class:`~repro.automl.pruners.NoPruner` the monitor only pumps
-    (keeping intermediate values visible to ``status()`` mid-run) and never
-    kills, so the round scheduler's determinism is unaffected.
+    With a :class:`~repro.automl.pruners.NoPruner` the monitor only drains
+    and publishes (keeping intermediate values visible to ``status()`` and
+    subscriptions mid-run) and never kills, so the round scheduler's
+    determinism is unaffected.
     """
 
     def __init__(self, study: "Study", executor: TrialExecutor) -> None:
         self.study = study
         self.executor = executor
         self.prune_active = not isinstance(study.pruner, NoPruner)
-        # Reports already judged per trial id, so each new report is fed to
-        # the pruner exactly once.
-        self._judged: Dict[int, int] = {}
+        # Reports already published/judged per trial id, so each new report
+        # hits the bus (and the pruner) exactly once.
+        self._seen: Dict[int, int] = {}
+
+    def _publish_new_reports(self, trial: Trial) -> bool:
+        """Publish the trial's reports not yet on the stream (step order).
+
+        The stream mirrors ``intermediate_values`` faithfully — including
+        NaN entries, whether a user-reported diverged loss or a
+        ring-overflow pad — so subscribers and ``status()`` agree.
+
+        Returns:
+            Whether any new report was published (i.e. the pruner has new
+            evidence to judge).
+        """
+        seen = self._seen.get(trial.trial_id, 0)
+        if len(trial.intermediate_values) <= seen:
+            return False  # cheap pre-check before taking the lock
+        with trial._state_lock:
+            fresh = trial.intermediate_values[seen:]
+        if not fresh:
+            return False
+        self._seen[trial.trial_id] = seen + len(fresh)
+        for offset, value in enumerate(fresh):
+            self.study.publish_event(TrialReport(
+                trial_id=trial.trial_id, step=seen + offset, value=value))
+        return True
 
     def observe(self, trials: Sequence[Trial]) -> None:
-        """Pump telemetry and prune any of ``trials`` that turned futureless.
+        """Drain telemetry, publish new reports, prune futureless trials.
 
         Args:
             trials: the caller's in-flight trials (other jobs' trials on a
-                shared executor are pumped too, but only judged by their own
-                scheduler).
+                shared executor are mirrored too, but only published and
+                judged by their own scheduler).
         """
-        self.executor.pump_telemetry()
-        if not self.prune_active:
+        self.executor.drain_telemetry()
+        if not self.prune_active and self.study._event_sink is None:
+            # Bare study, no pruner: the drain above keeps intermediate
+            # values visible; there is nobody to publish to or judge for.
             return
         for trial in trials:
             if trial.is_finished or trial.is_cancelled:
                 continue
-            seen = len(trial.intermediate_values)
-            if seen <= self._judged.get(trial.trial_id, 0):
+            if not self._publish_new_reports(trial):
                 continue
-            self._judged[trial.trial_id] = seen
+            if not self.prune_active:
+                continue
             with self.study._lock:
                 prune = self.study.pruner.should_prune(
                     trial, self.study.trials, self.study.config.maximize)
             if prune:
                 self.executor.kill_trial(trial, KILL_PRUNED)
+                if trial.kill_reason == KILL_PRUNED:
+                    # First kill wins: only the reason that actually landed
+                    # is published, so a trial's stream never carries
+                    # contradictory kill events.  Reports are flushed first
+                    # so the kill never precedes values it was based on.
+                    self._publish_new_reports(trial)
+                    self.study.publish_event(TrialKilled(
+                        trial_id=trial.trial_id, reason=KILL_PRUNED))
+
+    def flush(self, trial: Trial) -> None:
+        """Publish a settling trial's not-yet-published reports.
+
+        Called right before the trial is told back (and its
+        :class:`~repro.automl.events.TrialFinished` publishes), so even a
+        trial faster than one tick gets every report onto the stream, in step
+        order, ahead of its terminal event.
+        """
+        self._publish_new_reports(trial)
 
     def forget(self, trial: Trial) -> None:
-        """Stop tracking a settled trial (frees the judged-report counter)."""
-        self._judged.pop(trial.trial_id, None)
+        """Stop tracking a settled trial (frees the seen-report counter)."""
+        self._seen.pop(trial.trial_id, None)
 
 
 class TrialScheduler:
@@ -169,13 +233,31 @@ class RoundScheduler(TrialScheduler):
             with study._lock:
                 asked = [study.algorithm.ask(study.space, study.trials, config.maximize)
                          for _ in range(batch_size)]
-            pending = [(params, 0) for params in asked]
+            # One entry per asked config: retries mutate in place, and
+            # ``charged`` marks configs that reached a budget-consuming
+            # outcome — a config the time limit abandons before it ever ran
+            # (or whose preempted requeue never re-ran) must not consume a
+            # slot, so a resume re-runs it.
+            entries = [{"params": params, "retries": 0, "charged": False}
+                       for params in asked]
+            pending = list(entries)
             while pending and not study._total_time_exceeded(start_time):
+                # Cap each retry/requeue wave at the *current* pool width: a
+                # GovernedExecutor's allowance may have shrunk since the ask
+                # (a preempt=True co-tenant arrived), and resubmitting more
+                # than the share would re-saturate the slots the preemptor
+                # was owed.  The remainder waits for the next wave.
+                width = max(1, executor.n_workers)
+                active, pending = pending[:width], pending[width:]
                 batch: List[Trial] = []
                 with study._lock:
-                    for params, _ in pending:
+                    for entry in active:
                         batch.append(study._new_trial(
-                            dict(params), names[len(study.trials) % len(names)]))
+                            dict(entry["params"]),
+                            names[len(study.trials) % len(names)]))
+                for trial in batch:
+                    # Outside the study lock: event delivery may block.
+                    study._publish_started(trial)
 
                 def tick() -> bool:
                     monitor.observe(batch)
@@ -184,6 +266,19 @@ class RoundScheduler(TrialScheduler):
                 executor.run_batch(objective, batch, config.trial_time_limit,
                                    hard_deadline=hard_deadline, tick_fn=tick)
                 for trial in batch:
+                    monitor.flush(trial)
+                    reason = trial.kill_reason
+                    if (reason is not None and reason != KILL_PRUNED
+                            and trial.state is KILLED_STATES.get(reason)):
+                        # The round path's kills (cancel/deadline inside
+                        # run_batch, preemption from the server) publish here
+                        # — after the report flush, before TrialFinished —
+                        # matching the async path's event contract.  Prune
+                        # kills were already published by the monitor, and a
+                        # killed trial that still finished normally (or never
+                        # started: FAILED) gets no kill event.
+                        study.publish_event(TrialKilled(
+                            trial_id=trial.trial_id, reason=reason))
                     study.tell(trial)
                     monitor.forget(trial)
                 if study.stop_requested:
@@ -191,11 +286,26 @@ class RoundScheduler(TrialScheduler):
                     # CANCELLED by run_batch; nothing is retried and the
                     # consumed slots are not charged to the budget.
                     return
-                pending = [(params, retries + 1)
-                           for (params, retries), trial in zip(pending, batch)
-                           if trial.state == TrialState.FAILED
-                           and retries < config.max_retries]
-            study._budget_used += batch_size
+                requeue = []
+                for entry, trial in zip(active, batch):
+                    if (trial.state == TrialState.FAILED
+                            and entry["retries"] < config.max_retries):
+                        entry["retries"] += 1
+                        requeue.append(entry)
+                    elif (trial.state == TrialState.CANCELLED
+                            and trial.kill_reason == KILL_PREEMPTED):
+                        # Preempted by a higher-priority job: re-run the same
+                        # configuration without charging a retry.
+                        requeue.append(entry)
+                    else:
+                        entry["charged"] = True
+                pending = requeue + pending
+            # Only configs that reached a terminal, budget-consuming outcome
+            # are charged; anything the time limit abandoned (never ran, or a
+            # preempted/retry requeue that never re-ran) stays unconsumed for
+            # a later resume.
+            study._budget_used += sum(
+                1 for entry in entries if entry["charged"])
             remaining -= batch_size
             if checkpoint_fn is not None:
                 checkpoint_fn()
@@ -237,12 +347,20 @@ class AsyncScheduler(TrialScheduler):
         monitor = TelemetryMonitor(study, executor)
         start_time = time.perf_counter()
         in_flight: Dict["Future[Trial]", _Flight] = {}
+        # Configurations killed by preemption, waiting to re-run.  They go
+        # through refill() — not straight back to launch() — so the requeue
+        # honours the job's (now smaller) fair-share allowance instead of
+        # instantly re-saturating the slots the preemptor was owed.
+        requeued: List = []
         submitted = 0
 
         def launch(params: Dict[str, object], retries: int) -> None:
             with study._lock:
                 trial = study._new_trial(dict(params),
                                          names[len(study.trials) % len(names)])
+            # Outside the study lock (event delivery may block), before the
+            # submit so TrialStarted precedes anything the worker produces.
+            study._publish_started(trial)
             future = executor.submit(objective, trial, config.trial_time_limit)
             now = time.perf_counter()
             deadline = (None if config.trial_time_limit is None
@@ -251,9 +369,15 @@ class AsyncScheduler(TrialScheduler):
 
         def refill() -> None:
             nonlocal submitted
-            while (submitted < remaining and len(in_flight) < executor.n_workers
+            while (len(in_flight) < executor.n_workers
                    and not study.stop_requested
                    and not study._total_time_exceeded(start_time)):
+                if requeued:
+                    params, retries = requeued.pop(0)
+                    launch(params, retries)
+                    continue
+                if submitted >= remaining:
+                    break
                 with study._lock:
                     params = study.algorithm.ask(study.space, study.trials,
                                                  config.maximize)
@@ -262,9 +386,28 @@ class AsyncScheduler(TrialScheduler):
 
         def settle(flight: _Flight) -> None:
             """Tell a finished trial back and either retry it or consume a slot."""
+            monitor.flush(flight.trial)
+            if (flight.trial.state == TrialState.CANCELLED
+                    and flight.trial.kill_reason == KILL_PREEMPTED):
+                # The kill event publishes here — the victim's own scheduler
+                # thread — not from the preemptor's, so a subscriber never
+                # sees TrialKilled for (or after) a normally-finished trial:
+                # per-trial order stays started → reports → killed → finished.
+                study.publish_event(TrialKilled(
+                    trial_id=flight.trial.trial_id, reason=KILL_PREEMPTED))
             study.tell(flight.trial)
             monitor.forget(flight.trial)
-            if flight.trial.state == TrialState.CANCELLED:
+            if (flight.trial.state == TrialState.CANCELLED
+                    and flight.trial.kill_reason == KILL_PREEMPTED
+                    and not study.stop_requested
+                    and not study._total_time_exceeded(start_time)):
+                # Preempted by a higher-priority job: requeue the same
+                # configuration — no budget slot and no retry is charged.
+                # Queued for refill() so the re-run waits for an allowance
+                # slot: the whole point was to hand this slot to the
+                # preemptor.
+                requeued.append((flight.params, flight.retries))
+            elif flight.trial.state == TrialState.CANCELLED:
                 # Cancelled slots are not charged (matching the round path):
                 # a later resume re-runs them with the remaining budget.
                 if checkpoint_fn is not None:
@@ -283,9 +426,22 @@ class AsyncScheduler(TrialScheduler):
             """Expire everything still in flight (cancellation / time budget)."""
             for future, flight in list(in_flight.items()):
                 in_flight.pop(future)
-                executor.kill_trial(flight.trial, reason)
+                if not future.done():
+                    # A future that already completed finished normally; a
+                    # kill (event) for it would contradict its TrialFinished.
+                    executor.kill_trial(flight.trial, reason)
                 expire_trial(flight.trial, future,
                              config.trial_time_limit or 0.0, reason=reason)
+                if (flight.trial.kill_reason == reason
+                        and flight.trial.state is KILLED_STATES.get(reason)):
+                    # Publish only when this kill actually decided the
+                    # terminal state: first kill wins (no contradictory
+                    # reasons), and a never-started trial recorded FAILED
+                    # for retry gets no kill event — matching the round
+                    # path.  Pending reports flush ahead of the kill event.
+                    monitor.flush(flight.trial)
+                    study.publish_event(TrialKilled(
+                        trial_id=flight.trial.trial_id, reason=reason))
                 settle(flight)
 
         refill()
@@ -349,6 +505,15 @@ class AsyncScheduler(TrialScheduler):
                         continue
                 executor.kill_trial(flight.trial, KILL_DEADLINE)
                 expire_trial(flight.trial, future, limit)
+                if (flight.trial.kill_reason == KILL_DEADLINE
+                        and flight.trial.state is TrialState.TIMED_OUT):
+                    # Publish only when the deadline kill decided the
+                    # terminal state: a never-started trial records FAILED
+                    # (retryable) and gets no kill event.  Pending reports
+                    # flush ahead of the kill event.
+                    monitor.flush(flight.trial)
+                    study.publish_event(TrialKilled(
+                        trial_id=flight.trial.trial_id, reason=KILL_DEADLINE))
                 in_flight.pop(future)
                 settle(flight)
             monitor.observe([f.trial for f in in_flight.values()])
@@ -416,6 +581,25 @@ class FairShareGovernor:
         with self._lock:
             return self._apportion()
 
+    def overage(self, in_flight: Dict[object, int]) -> Dict[object, int]:
+        """How many in-flight trials each owner holds beyond its fair share.
+
+        The tune server uses this when a ``preempt=True`` job arrives: each
+        owner's overage is the number of its youngest running trials to kill
+        (and requeue) so the pool converges to the new apportionment within
+        one scheduling tick instead of waiting for trials to finish.
+
+        Args:
+            in_flight: current in-flight trial count per owner.
+
+        Returns:
+            Per-owner counts to shed (0 for owners within their share; an
+            unregistered owner is treated as entitled to the full pool).
+        """
+        shares = self.shares()
+        return {owner: max(0, count - shares.get(owner, self.total_slots))
+                for owner, count in in_flight.items()}
+
     def _apportion(self) -> Dict[object, int]:
         # Largest-remainder apportionment; caller holds the lock.
         total_weight = sum(self._weights.values())
@@ -460,8 +644,8 @@ class GovernedExecutor(TrialExecutor):
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
         return self.inner.submit(objective, trial, trial_time_limit)
 
-    def pump_telemetry(self) -> int:
-        return self.inner.pump_telemetry()
+    def drain_telemetry(self) -> int:
+        return self.inner.drain_telemetry()
 
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
         self.inner.kill_trial(trial, reason)

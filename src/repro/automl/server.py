@@ -21,6 +21,16 @@ service:
   one scheduling tick, leaving it in the terminal ``CANCELLED`` state.
   :meth:`AntTuneClient.tune` keeps the blocking submit-and-wait convenience
   API on top.
+* Every job also exposes a push stream: the whole trial/job lifecycle is
+  published as typed events (:mod:`repro.automl.events`) on one ordered bus,
+  and :meth:`subscribe` follows it — iterator or callback form — ending with
+  a terminal ``JobStateChanged`` on completion, failure or cancellation.
+  Storage persists trial history off the same stream.
+* ``submit(..., preempt=True)`` claims the new job's fair share immediately:
+  co-tenants' youngest running trials beyond their new allowance are killed
+  with the ``preempted`` reason and requeued by their own schedulers (no
+  budget slot or retry charged), so a latency-sensitive job acquires slots
+  within one scheduling tick even when the pool is saturated.
 * With a :class:`~repro.automl.storage.StudyStorage` attached, every job's
   study is checkpointed into SQLite as it runs, so a restarted server can
   list stored studies and :meth:`resume` them with only the remaining
@@ -33,6 +43,7 @@ identical trial sequences.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import itertools
 import threading
@@ -46,6 +57,13 @@ from typing import Callable, Dict, List, Optional, Union
 import numpy as np
 
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
+from repro.automl.events import (
+    Event,
+    EventBus,
+    JobStateChanged,
+    Subscription,
+    TrialFinished,
+)
 from repro.automl.executors import EXECUTOR_BACKENDS, TrialExecutor, make_executor
 from repro.automl.pruners import Pruner
 from repro.automl.scheduler import (
@@ -57,7 +75,7 @@ from repro.automl.scheduler import (
 from repro.automl.search_space import SearchSpace
 from repro.automl.storage import StudyStorage
 from repro.automl.study import Study, StudyConfig
-from repro.automl.trial import Trial, TrialState
+from repro.automl.trial import KILL_PREEMPTED, Trial, TrialState
 from repro.exceptions import TrialError
 from repro.utils.rng import new_rng
 
@@ -97,6 +115,8 @@ class TuneJob:
         objective: the user callable evaluated per trial.
         workers: worker attribution labels for this job's trials.
         priority: fair-share weight (> 0); larger = bigger slot share.
+        preempt: whether the job claims its share immediately on start by
+            killing (and requeueing) co-tenants' youngest excess trials.
         study_name: the name the job persists under (auto-generated default).
         checkpoint_path: optional JSON checkpoint target.
         state: current :class:`JobState`.
@@ -108,6 +128,7 @@ class TuneJob:
     objective: Objective
     workers: List[str] = field(default_factory=lambda: ["worker-0"])
     priority: float = 1.0
+    preempt: bool = False
     study_name: Optional[str] = None
     checkpoint_path: Optional[str] = None
     state: JobState = JobState.QUEUED
@@ -170,6 +191,9 @@ class AntTuneServer:
         self._jobs_lock = threading.Lock()
         self._next_job_id = itertools.count()
         self._governor = FairShareGovernor(num_workers)
+        # One ordered event stream per job: every layer publishes onto this
+        # bus and subscribe()/storage persistence read from it.
+        self._bus = EventBus()
         # Default study names embed a per-server-process nonce so a restarted
         # server never silently upserts over studies a previous process
         # persisted under the same job ids.
@@ -222,13 +246,14 @@ class AntTuneServer:
                rng: Optional[np.random.Generator] = None,
                study_name: Optional[str] = None,
                checkpoint_path: Optional[str] = None,
-               priority: float = 1.0) -> int:
+               priority: float = 1.0, preempt: bool = False) -> int:
         """Enqueue a new tuning job and return its id immediately.
 
         The job starts as soon as a dispatcher slot frees up; use
-        :meth:`poll`/:meth:`wait` to follow it and :meth:`cancel` to stop it.
-        Without an explicit ``rng`` the study seeds from the job id, so
-        concurrent jobs explore distinct trial sequences.
+        :meth:`poll`/:meth:`wait`/:meth:`subscribe` to follow it and
+        :meth:`cancel` to stop it.  Without an explicit ``rng`` the study
+        seeds from the job id, so concurrent jobs explore distinct trial
+        sequences.
 
         Args:
             space: the search space to explore.
@@ -243,6 +268,11 @@ class AntTuneServer:
             checkpoint_path: optional JSON checkpoint target.
             priority: fair-share weight (> 0); a job with weight 4 holds
                 roughly 4x the trial slots of a weight-1 co-tenant.
+            preempt: when True the job does not wait for co-tenants' trials
+                to finish — on start it kills their youngest running trials
+                beyond the new fair share (kill reason ``preempted``).
+                Preempted trials are requeued by their own scheduler and
+                charged neither a budget slot nor a retry.
 
         Returns:
             The new job's id.
@@ -258,12 +288,13 @@ class AntTuneServer:
         study = Study(space, algorithm=algorithm, config=config, pruner=pruner,
                       rng=new_rng(rng if rng is not None else _job_seed(job_id)))
         return self._enqueue(job_id, study, objective, study_name,
-                             checkpoint_path, priority=priority)
+                             checkpoint_path, priority=priority,
+                             preempt=preempt)
 
     def resume(self, study_name: str, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
                pruner: Optional[Pruner] = None,
-               priority: float = 1.0) -> int:
+               priority: float = 1.0, preempt: bool = False) -> int:
         """Reload a persisted study from storage and enqueue its remainder.
 
         The study resumes with only the trial budget it had left when last
@@ -280,6 +311,8 @@ class AntTuneServer:
                 non-default one.
             pruner: early-stopping policy for the continuation.
             priority: fair-share weight for the resumed job.
+            preempt: claim the fair share immediately on start (see
+                :meth:`submit`).
 
         Returns:
             The new job's id.
@@ -294,16 +327,19 @@ class AntTuneServer:
                                         pruner=pruner)
         job_id = next(self._next_job_id)
         return self._enqueue(job_id, study, objective, study_name, None,
-                             priority=priority, allow_stored=True)
+                             priority=priority, preempt=preempt,
+                             allow_stored=True)
 
     def _enqueue(self, job_id: int, study: Study, objective: Objective,
                  study_name: Optional[str], checkpoint_path: Optional[str],
-                 priority: float = 1.0, allow_stored: bool = False) -> int:
+                 priority: float = 1.0, preempt: bool = False,
+                 allow_stored: bool = False) -> int:
         if priority <= 0:
             raise ValueError("priority must be > 0")
         workers = [f"worker-{i}" for i in range(self.num_workers)]
         job = TuneJob(job_id=job_id, study=study, objective=objective,
                       workers=workers, priority=float(priority),
+                      preempt=preempt,
                       study_name=study_name or f"job-{job_id}-{self._instance_id}",
                       checkpoint_path=checkpoint_path)
         if (self.storage is not None and study_name is not None
@@ -324,7 +360,15 @@ class AntTuneServer:
                         f"study name {job.study_name!r} is already in use by "
                         f"active job {other.job_id}; pick a unique study_name")
             self._jobs[job_id] = job
+        # Every lifecycle event the study (and its scheduler) publishes is
+        # stamped with this job's id and fanned out on the server's bus.
+        study._event_sink = self._event_sink_for(job_id)
         if self.storage is not None:
+            # Trial history persists off the event stream: terminal trials
+            # land as rows the moment their TrialFinished event publishes,
+            # between (and independent of) full payload checkpoints.
+            self._bus.subscribe(job_id,
+                                callback=self._storage_listener(job))
             try:
                 self.storage.save_study(job.study_name, study,
                                         status=JobState.QUEUED.value)
@@ -332,7 +376,12 @@ class AntTuneServer:
                 # registered whose _done event would never fire.
                 with self._jobs_lock:
                     self._jobs.pop(job_id, None)
+                with job._state_lock:
+                    job.state = JobState.FAILED
+                    job.error = "storage save failed at enqueue"
+                self._publish_job_state(job, terminal=True)
                 raise
+        self._publish_job_state(job)  # QUEUED opens the job's stream
         try:
             dispatcher.submit(self._run_job, job)
         except RuntimeError as exc:  # shutdown() raced us: undo registration
@@ -343,25 +392,113 @@ class AntTuneServer:
                     self.storage.delete_study(job.study_name)
                 except TrialError:
                     pass
+            with job._state_lock:
+                job.state = JobState.FAILED
+                job.error = "server has been shut down"
+            self._publish_job_state(job, terminal=True)
             raise TrialError("server has been shut down") from exc
         return job_id
+
+    # ------------------------------------------------------------------ #
+    # Event stream plumbing
+    # ------------------------------------------------------------------ #
+    def _event_sink_for(self, job_id: int) -> Callable[[Event], None]:
+        """The per-job sink a study publishes through: stamp job id, fan out."""
+        bus = self._bus
+        def sink(event: Event) -> None:
+            bus.publish(dataclasses.replace(event, job_id=job_id))
+        return sink
+
+    def _publish_job_state(self, job: TuneJob,
+                           terminal: bool = False) -> None:
+        """Publish the job's current state onto its event stream."""
+        self._bus.publish(JobStateChanged(
+            state=job.state.value, error=job.error, terminal=terminal,
+            job_id=job.job_id))
+
+    def _storage_listener(self, job: TuneJob) -> Callable[[Event], None]:
+        """A bus callback persisting this job's stream into storage.
+
+        Best effort by design: the dispatcher's checkpoint/finalise path still
+        saves the authoritative study payload, so a dying storage here must
+        neither crash the publisher nor mark the job failed.
+
+        The commit is synchronous on the publisher's thread, but only
+        TrialFinished/JobStateChanged touch storage (TrialReport — the
+        high-frequency event — falls through), so the cost is one small WAL
+        commit per *trial*, paid by a scheduler that just spent the trial's
+        whole runtime; the per-job turnstile keeps it off other jobs'
+        streams.  A background writer would decouple it entirely (ROADMAP).
+        """
+        storage, name = self.storage, job.study_name
+        def on_event(event: Event) -> None:
+            try:
+                if isinstance(event, TrialFinished):
+                    storage.record_trial(name, event.record)
+                elif isinstance(event, JobStateChanged):
+                    storage.set_status(name, event.state)
+            except Exception:  # noqa: BLE001 - never break publish()
+                pass
+        return on_event
+
+    def subscribe(self, job_id: int,
+                  callback: Optional[Callable[[Event], None]] = None,
+                  max_queue: int = 1024) -> Subscription:
+        """Follow one job's ordered event stream (push, not poll).
+
+        Events arrive in publish order, sequenced per job: ``JobStateChanged``
+        for every lifecycle transition, and ``TrialStarted`` /
+        ``TrialReport`` / ``TrialKilled`` / ``TrialFinished`` per trial, with
+        each trial's events in its own lifecycle order.  The stream always
+        ends with a terminal ``JobStateChanged`` (``terminal=True``) —
+        completion, failure or cancellation — after which iteration stops;
+        subscribing to an already-finished job yields that terminal event
+        immediately.
+
+        Args:
+            job_id: the job to follow.
+            callback: optional callable invoked synchronously per event
+                instead of queueing for iteration (keep it fast; never call
+                back into the server from it).
+            max_queue: bound on the iterator queue for live delivery; the
+                oldest undelivered events are shed (``Subscription.dropped``
+                counts them) when a consumer falls behind.  The initial
+                replay is delivered in full regardless (bounded by the bus
+                history limit).
+
+        Returns:
+            A :class:`~repro.automl.events.Subscription`.
+
+        Raises:
+            TrialError: unknown job id.
+        """
+        self._get(job_id)
+        return self._bus.subscribe(job_id, callback=callback,
+                                   max_queue=max_queue)
 
     def _run_job(self, job: TuneJob) -> None:
         """Dispatcher-side job body: run the study, never kill the dispatcher."""
         with job._state_lock:
             if job.cancel_requested or job.state is JobState.CANCELLED:
                 # cancel() finalised the queued job already (or flagged it just
-                # before we started): never run its study.
+                # before we started): never run its study.  The terminal event
+                # was (or is being) published by cancel() itself.
                 job.state = JobState.CANCELLED
                 job._done.set()
                 return
             job.state = JobState.RUNNING
+        self._publish_job_state(job)
         checkpoint_fn = None
         if self.storage is not None:
             storage, name, study = self.storage, job.study_name, job.study
             checkpoint_fn = lambda: storage.save_study(name, study,
                                                        status=JobState.RUNNING.value)
         self._governor.register(job.job_id, job.priority)
+        if job.preempt:
+            # Claim this job's share now: co-tenants' youngest excess trials
+            # are killed (and requeued by their own schedulers) instead of
+            # being waited out.
+            self._preempt_for(job)
         executor = GovernedExecutor(self.executor, self._governor, job.job_id)
         try:
             job.study.optimize(job.objective, executor=executor,
@@ -408,7 +545,51 @@ class AntTuneServer:
                 except Exception as exc:  # a dying storage must not leave the
                     # job un-finished: wait() would block forever on _done.
                     job.error = job.error or f"storage save failed: {exc}"
+            # The terminal event: subscriptions drain and close on it.
+            self._publish_job_state(job, terminal=True)
             job._done.set()
+
+    def _preempt_for(self, job: TuneJob) -> None:
+        """Kill co-tenants' youngest trials beyond their new fair share.
+
+        Called once when a ``preempt=True`` job starts (after its weight
+        registered with the governor).  Victims get the ``preempted`` kill
+        reason: their objectives stop at the next ``report()``, their
+        schedulers requeue the same configurations without charging a budget
+        slot or a retry, and the freed pool slots go to the new job within
+        one scheduling tick.
+        """
+        with self._jobs_lock:
+            others = [other for other in self._jobs.values()
+                      if other.job_id != job.job_id
+                      and other.state is JobState.RUNNING]
+        if not others:
+            return
+        running: Dict[int, List[Trial]] = {}
+        for other in others:
+            with other.study._lock:
+                running[other.job_id] = [
+                    trial for trial in other.study.trials
+                    if trial.state is TrialState.RUNNING
+                    and trial.kill_reason is None]
+        overage = self._governor.overage(
+            {job_id: len(trials) for job_id, trials in running.items()})
+        try:
+            executor = self.executor
+        except TrialError:
+            return  # shutting down: nothing left to preempt for
+        for other in others:
+            excess = overage.get(other.job_id, 0)
+            if excess <= 0:
+                continue
+            victims = sorted(running[other.job_id],
+                             key=lambda trial: trial.trial_id)[-excess:]
+            for trial in victims:
+                # Kill only; the TrialKilled event publishes from the
+                # victim's own scheduler when it settles the trial, so the
+                # event stream never shows a kill for (or sequenced after) a
+                # trial that actually finished normally.
+                executor.kill_trial(trial, KILL_PREEMPTED)
 
     # ------------------------------------------------------------------ #
     # Cancellation
@@ -449,6 +630,9 @@ class AntTuneServer:
                                             status=JobState.CANCELLED.value)
                 except Exception as exc:  # noqa: BLE001 - never block cancel
                     job.error = f"storage save failed: {exc}"
+            # Queued jobs terminate here (no dispatcher run will): close the
+            # stream.  Running jobs get their terminal event from _run_job.
+            self._publish_job_state(job, terminal=True)
             job._done.set()
         return True
 
@@ -559,6 +743,7 @@ class AntTuneServer:
             "states": states,
             "best_value": best_value,
             "priority": job.priority,
+            "preempt": job.preempt,
             "workers": list(job.workers),
             "study_name": job.study_name,
         }
@@ -641,6 +826,10 @@ class AntTuneClient:
     def cancel(self, job_id: int) -> bool:
         """Cancel a queued or running job (see :meth:`AntTuneServer.cancel`)."""
         return self.server.cancel(job_id)
+
+    def subscribe(self, job_id: int, **kwargs: object) -> Subscription:
+        """Follow a job's event stream (see :meth:`AntTuneServer.subscribe`)."""
+        return self.server.subscribe(job_id, **kwargs)
 
     def tune(self, space: SearchSpace, objective: Objective,
              algorithm: Optional[SearchAlgorithm] = None,

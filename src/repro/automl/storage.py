@@ -26,7 +26,7 @@ import json
 import sqlite3
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -113,21 +113,10 @@ class StudyStorage:
                 "updated_at=excluded.updated_at",
                 (name, str(payload["algorithm"]), status, maximize, payload_json,
                  now, now))
-            existing = self._persisted.get(name)
-            if existing is None:  # first save through this instance
-                existing = dict(self._conn.execute(
-                    "SELECT trial_id, state FROM trials WHERE study_name = ?",
-                    (name,)).fetchall())
+            existing = self._persisted_states(name)
             changed = [record for record in trials
                        if existing.get(record["trial_id"]) != record["state"]]
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO trials (study_name, trial_id, state, "
-                "value, duration_seconds, worker, error, record) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                [(name, record["trial_id"], record["state"], record["value"],
-                  record["duration_seconds"], record["worker"], record["error"],
-                  json.dumps(record, sort_keys=True, default=json_default))
-                 for record in changed])
+            self._upsert_trial_rows(name, changed)
             # Rows no longer in the history (in-flight trials dropped by a
             # resume) must not linger as zombies.
             stale = set(existing) - {record["trial_id"] for record in trials}
@@ -137,6 +126,51 @@ class StudyStorage:
             self._conn.commit()
             self._persisted[name] = {record["trial_id"]: record["state"]
                                      for record in trials}
+
+    def _persisted_states(self, name: str) -> Dict[int, str]:
+        """The last-persisted trial states cache, primed from the table.
+
+        Caller holds ``self._lock``.  The prime keeps pre-existing rows
+        (e.g. a resumed study's history) visible as candidates for
+        stale-row cleanup on the next full save.
+        """
+        states = self._persisted.get(name)
+        if states is None:
+            states = self._persisted[name] = dict(self._conn.execute(
+                "SELECT trial_id, state FROM trials WHERE study_name = ?",
+                (name,)).fetchall())
+        return states
+
+    def _upsert_trial_rows(self, name: str,
+                           records: List[Dict[str, object]]) -> None:
+        """Write trial rows (caller holds ``self._lock``; no commit)."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO trials (study_name, trial_id, state, "
+            "value, duration_seconds, worker, error, record) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [(name, record["trial_id"], record["state"], record["value"],
+              record["duration_seconds"], record["worker"], record["error"],
+              json.dumps(record, sort_keys=True, default=json_default))
+             for record in records])
+
+    def record_trial(self, name: str, record: Dict[str, object]) -> None:
+        """Upsert one trial row from its event-stream record.
+
+        This is the persistence path driven by the tune server's event bus: a
+        :class:`~repro.automl.events.TrialFinished` event carries the trial's
+        full record, which lands as a row the moment the event publishes —
+        between (and independent of) full study checkpoints.  The
+        incremental-save cache is updated so a later :meth:`save_study` does
+        not rewrite the row.
+
+        Args:
+            name: the owning study.
+            record: a :meth:`~repro.automl.trial.Trial.as_record` snapshot.
+        """
+        with self._lock:
+            self._upsert_trial_rows(name, [record])
+            self._conn.commit()
+            self._persisted_states(name)[record["trial_id"]] = record["state"]
 
     def set_status(self, name: str, status: str) -> None:
         """Update only a study's lifecycle status column.
@@ -174,6 +208,74 @@ class StudyStorage:
             self._persisted.pop(name, None)
         if not deleted:
             raise TrialError(f"unknown study {name!r}")
+
+    # Terminal job statuses eligible for garbage collection by default: a
+    # queued/running study belongs to a (possibly live) server and is never
+    # collected unless explicitly requested.
+    GC_DEFAULT_STATES = ("completed", "failed", "cancelled")
+
+    def gc(self, max_age_days: float = 30.0,
+           states: Optional[Sequence[str]] = None,
+           dry_run: bool = False,
+           names: Optional[Sequence[str]] = None) -> List[str]:
+        """Delete stored studies that are old *and* in a collectable status.
+
+        A study is collected when its ``updated_at`` is older than
+        ``max_age_days`` and its status is one of ``states`` (default: the
+        terminal statuses — ``completed``, ``failed``, ``cancelled``).  Each
+        collected study's trial rows go with it, in one transaction.
+
+        Args:
+            max_age_days: minimum age (since last update) in days; 0 collects
+                every study in a matching status.
+            states: statuses eligible for collection (defaults to
+                :data:`GC_DEFAULT_STATES`).
+            dry_run: when True, only report what *would* be deleted.
+            names: restrict collection to these studies.  The age/status
+                predicate still applies — this is how a confirm-then-delete
+                flow (the CLI) avoids deleting studies that crossed the age
+                cutoff, or were resumed back to ``running``, after the
+                preview.
+
+        Returns:
+            The names of the deleted (or, under ``dry_run``, deletable)
+            studies, oldest first.
+
+        Raises:
+            ValueError: for a negative ``max_age_days`` or empty ``states``.
+        """
+        if max_age_days < 0:
+            raise ValueError("max_age_days must be >= 0")
+        eligible = (self.GC_DEFAULT_STATES if states is None
+                    else tuple(states))
+        if not eligible:
+            raise ValueError("states must not be empty")
+        cutoff = time.time() - max_age_days * 86400.0
+        placeholders = ",".join("?" for _ in eligible)
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT name FROM studies WHERE updated_at <= ? "
+                f"AND status IN ({placeholders}) ORDER BY updated_at",
+                (cutoff, *eligible)).fetchall()
+            names_filter = None if names is None else set(names)
+            names = [row["name"] for row in rows
+                     if names_filter is None or row["name"] in names_filter]
+            if dry_run or not names:
+                return names
+            # Chunked IN-lists: stock sqlite3 builds cap host variables at
+            # 999, and gc fires exactly when the backlog is largest.  All
+            # chunks share one transaction (single commit below).
+            for start in range(0, len(names), 500):
+                chunk = names[start:start + 500]
+                slots = ",".join("?" for _ in chunk)
+                self._conn.execute(
+                    f"DELETE FROM trials WHERE study_name IN ({slots})", chunk)
+                self._conn.execute(
+                    f"DELETE FROM studies WHERE name IN ({slots})", chunk)
+            self._conn.commit()
+            for name in names:
+                self._persisted.pop(name, None)
+        return names
 
     # ------------------------------------------------------------------ #
     # Reading

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.algorithms.racos import RACOS
+from repro.automl.events import TrialEvent, TrialFinished, TrialStarted
 from repro.automl.executors import (
     TrialExecutor,
     execute_trial,
@@ -108,6 +109,10 @@ class Study:
         # Cooperative cancellation: set by request_stop() (e.g. the tune
         # server's cancel(job_id)); schedulers observe it within one tick.
         self._stop = threading.Event()
+        # Event sink: the tune server wires this to its EventBus (stamping the
+        # owning job id); None means lifecycle events are dropped.  The study,
+        # monitor and schedulers publish through publish_event().
+        self._event_sink: Optional[Callable[[TrialEvent], None]] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -214,10 +219,31 @@ class Study:
                 checkpoint_fn()
         return _checkpoint
 
+    def publish_event(self, event: TrialEvent) -> None:
+        """Publish one lifecycle event to the attached sink (no-op without one).
+
+        The tune server attaches a sink that stamps the owning job id and
+        forwards onto its :class:`~repro.automl.events.EventBus`; a bare study
+        has no sink and events are dropped.
+        """
+        sink = self._event_sink
+        if sink is not None:
+            sink(event)
+
     def tell(self, trial: Trial) -> None:
-        """Feed a finished trial back into the algorithm (thread-safe)."""
+        """Feed a finished trial back into the algorithm (thread-safe).
+
+        Also publishes the trial's :class:`~repro.automl.events.TrialFinished`
+        event (with the full record) — every terminal trial reaches the event
+        stream through this single point, on every scheduler.
+        """
         with self._lock:
             self.algorithm.tell(trial)
+        with trial._state_lock:
+            record = trial.as_record()
+        self.publish_event(TrialFinished(
+            trial_id=trial.trial_id, state=trial.state.value,
+            value=trial.value, record=record))
 
     def _run_sequential(self, objective: Objective, worker_name: str,
                         remaining: int,
@@ -254,6 +280,11 @@ class Study:
                 executor.shutdown()
 
     def _new_trial(self, params: Dict[str, object], worker: str) -> Trial:
+        # No event publish here: callers hold the study lock, and event
+        # delivery can block (turnstile, subscriber callbacks, storage
+        # commits) — a callback that re-enters the server (e.g. poll())
+        # would deadlock on the study lock.  Callers publish TrialStarted
+        # via _publish_started() after releasing the lock.
         trial = Trial(trial_id=self._next_trial_id, params=params, worker=worker)
         self._next_trial_id += 1
         trial._prune_check = lambda t: self.pruner.should_prune(t, self.trials, self.config.maximize)
@@ -261,8 +292,15 @@ class Study:
         self.trials.append(trial)
         return trial
 
+    def _publish_started(self, trial: Trial) -> None:
+        """Publish a trial's TrialStarted event (call *outside* the lock)."""
+        self.publish_event(TrialStarted(trial_id=trial.trial_id,
+                                        params=dict(trial.params),
+                                        worker=trial.worker))
+
     def _run_single(self, objective: Objective, params: Dict[str, object], worker: str) -> Trial:
         trial = self._new_trial(params, worker)
+        self._publish_started(trial)
         execute_trial(objective, trial, self.config.trial_time_limit)
         self.tell(trial)
         return trial

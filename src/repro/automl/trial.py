@@ -33,12 +33,16 @@ __all__ = [
     "KILL_DEADLINE",
     "KILL_PRUNED",
     "KILL_CANCELLED",
+    "KILL_PREEMPTED",
 ]
 
 # Why a trial was killed mid-flight; each maps to a distinct terminal state.
 KILL_DEADLINE = "deadline"    # per-trial time limit passed     -> TIMED_OUT
 KILL_PRUNED = "pruned"        # pruner judged it futureless     -> PRUNED
 KILL_CANCELLED = "cancelled"  # its job was cancelled           -> CANCELLED
+KILL_PREEMPTED = "preempted"  # slot yielded to a preempting    -> CANCELLED
+#                               high-priority job; the scheduler requeues the
+#                               configuration without charging the slot.
 
 
 class PrunedTrial(Exception):
@@ -84,6 +88,7 @@ KILLED_STATES = {
     KILL_DEADLINE: TrialState.TIMED_OUT,
     KILL_PRUNED: TrialState.PRUNED,
     KILL_CANCELLED: TrialState.CANCELLED,
+    KILL_PREEMPTED: TrialState.CANCELLED,
 }
 
 
@@ -140,7 +145,7 @@ class Trial:
 
         Args:
             reason: one of :data:`KILL_DEADLINE`, :data:`KILL_PRUNED`,
-                :data:`KILL_CANCELLED`.
+                :data:`KILL_CANCELLED`, :data:`KILL_PREEMPTED`.
 
         Raises:
             ValueError: for an unknown reason string.
@@ -198,6 +203,9 @@ class Trial:
             raise PrunedTrial(f"trial {self.trial_id} pruned as futureless")
         if reason == KILL_CANCELLED:
             raise TrialCancelled(f"trial {self.trial_id} was cancelled")
+        if reason == KILL_PREEMPTED:
+            raise TrialCancelled(
+                f"trial {self.trial_id} was preempted by a higher-priority job")
         raise TrialCancelled(f"trial {self.trial_id} exceeded its time limit")
 
     def should_prune(self) -> bool:

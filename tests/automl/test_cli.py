@@ -168,3 +168,79 @@ class TestEntrypoint:
             capture_output=True, text=True, timeout=60)
         assert result.returncode == 0, result.stderr
         assert "no studies stored" in result.stdout
+
+
+class TestGcCommand:
+    @staticmethod
+    def _backdate(path, name, days):
+        import time as _time
+        with StudyStorage(path) as storage:
+            storage._conn.execute(
+                "UPDATE studies SET updated_at = ? WHERE name = ?",
+                (_time.time() - days * 86400.0, name))
+            storage._conn.commit()
+
+    def _seed(self, tmp_path):
+        path = str(tmp_path / "gc.db")
+        _store_study(path, "ancient", status="completed")
+        _store_study(path, "stale-failed", status="failed")
+        _store_study(path, "active", status="running")
+        _store_study(path, "recent", status="completed")
+        self._backdate(path, "ancient", 90)
+        self._backdate(path, "stale-failed", 45)
+        self._backdate(path, "active", 90)
+        return path
+
+    def test_gc_dry_run_lists_without_deleting(self, tmp_path):
+        path = self._seed(tmp_path)
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "30",
+                                "--dry-run")
+        assert code == 0
+        assert "would delete 2 study(ies)" in output
+        assert "ancient" in output and "stale-failed" in output
+        assert "active" not in output and "recent" not in output
+        with StudyStorage(path) as storage:
+            assert len(storage.list_studies()) == 4
+
+    def test_gc_deletes_with_yes(self, tmp_path):
+        path = self._seed(tmp_path)
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "30",
+                                "--yes")
+        assert code == 0
+        assert "deleted 2 study(ies)" in output
+        with StudyStorage(path) as storage:
+            names = {row["name"] for row in storage.list_studies()}
+            assert names == {"active", "recent"}
+
+    def test_gc_prompt_abort(self, tmp_path, monkeypatch):
+        path = self._seed(tmp_path)
+        monkeypatch.setattr("builtins.input", lambda prompt: "n")
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "30")
+        assert code == 1
+        assert "aborted" in output
+        with StudyStorage(path) as storage:
+            assert len(storage.list_studies()) == 4
+
+    def test_gc_states_filter(self, tmp_path):
+        path = self._seed(tmp_path)
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "30",
+                                "--states", "failed", "--yes")
+        assert code == 0
+        with StudyStorage(path) as storage:
+            names = {row["name"] for row in storage.list_studies()}
+            assert names == {"ancient", "active", "recent"}
+
+    def test_gc_nothing_to_collect(self, tmp_path):
+        path = str(tmp_path / "gc.db")
+        _store_study(path, "fresh", status="completed")
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "30")
+        assert code == 0
+        assert "nothing to collect" in output
+
+    def test_gc_invalid_age_errors(self, tmp_path):
+        path = str(tmp_path / "gc.db")
+        _store_study(path, "x")
+        code, output = _run_cli("--db", path, "gc", "--max-age-days", "-1",
+                                "--yes")
+        assert code == 2
+        assert "error:" in output

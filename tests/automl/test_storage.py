@@ -158,3 +158,73 @@ class TestStudyStorage:
         with pytest.raises(TrialError, match="algorithm"):
             storage.load_study("mismatch", space,
                                algorithm=RACOS(rng=np.random.default_rng(0)))
+
+
+class TestStorageGC:
+    @staticmethod
+    def _age(storage, name, days):
+        """Backdate a study's updated_at by ``days`` (test-only time travel)."""
+        import time as _time
+        storage._conn.execute(
+            "UPDATE studies SET updated_at = ? WHERE name = ?",
+            (_time.time() - days * 86400.0, name))
+        storage._conn.commit()
+
+    def _seed(self, space, storage):
+        for name, status, days in (("old-done", "completed", 40),
+                                   ("old-failed", "failed", 40),
+                                   ("old-cancelled", "cancelled", 40),
+                                   ("old-running", "running", 40),
+                                   ("fresh-done", "completed", 1)):
+            study = _study(space, n_trials=2)
+            study.optimize(lambda t: t.params["x"])
+            storage.save_study(name, study, status=status)
+            self._age(storage, name, days)
+
+    def test_gc_collects_old_terminal_studies_only(self, space, storage):
+        self._seed(space, storage)
+        deleted = storage.gc(max_age_days=30)
+        assert sorted(deleted) == ["old-cancelled", "old-done", "old-failed"]
+        remaining = {row["name"] for row in storage.list_studies()}
+        # Non-terminal and fresh studies survive, with their trial rows.
+        assert remaining == {"old-running", "fresh-done"}
+        assert storage.load_payload("fresh-done")["trials"]
+        # The collected studies' trial rows are gone too.
+        with pytest.raises(TrialError):
+            storage.load_payload("old-done")
+
+    def test_gc_dry_run_deletes_nothing(self, space, storage):
+        self._seed(space, storage)
+        candidates = storage.gc(max_age_days=30, dry_run=True)
+        assert sorted(candidates) == ["old-cancelled", "old-done", "old-failed"]
+        assert len(storage.list_studies()) == 5  # untouched
+
+    def test_gc_states_filter(self, space, storage):
+        self._seed(space, storage)
+        deleted = storage.gc(max_age_days=30, states=("failed",))
+        assert deleted == ["old-failed"]
+        # Explicit states may collect what the default never touches.
+        deleted = storage.gc(max_age_days=30, states=("running",))
+        assert deleted == ["old-running"]
+
+    def test_gc_zero_age_collects_all_terminal(self, space, storage):
+        self._seed(space, storage)
+        deleted = storage.gc(max_age_days=0)
+        assert "fresh-done" in deleted and "old-running" not in deleted
+
+    def test_gc_validation(self, storage):
+        with pytest.raises(ValueError):
+            storage.gc(max_age_days=-1)
+        with pytest.raises(ValueError):
+            storage.gc(states=())
+
+    def test_gc_empty_storage_is_noop(self, storage):
+        assert storage.gc(max_age_days=0) == []
+
+    def test_gc_ordering_oldest_first(self, space, storage):
+        for days, name in ((5, "newer"), (50, "oldest"), (20, "middle")):
+            study = _study(space, n_trials=1)
+            study.optimize(lambda t: t.params["x"])
+            storage.save_study(name, study, status="completed")
+            self._age(storage, name, days)
+        assert storage.gc(max_age_days=0) == ["oldest", "middle", "newer"]

@@ -182,6 +182,77 @@ class TestFairShareGovernor:
         with pytest.raises(ValueError):
             FairShareGovernor(0)
 
+    def test_single_job_any_weight_gets_everything(self):
+        # A lone owner's weight is irrelevant: it always holds the full pool.
+        for weight in (0.001, 1.0, 1e6):
+            governor = FairShareGovernor(8)
+            governor.register("only", weight)
+            assert governor.allowance("only") == 8
+
+    def test_equal_priorities_split_evenly_with_deterministic_ties(self):
+        governor = FairShareGovernor(5)
+        for owner in ("a", "b", "c"):
+            governor.register(owner, 2.5)
+        shares = governor.shares()
+        assert sum(shares.values()) == 5
+        assert sorted(shares.values()) == [1, 2, 2]
+        # Largest-remainder ties break by registration order: the earliest
+        # registrants get the leftover slots, reproducibly.
+        assert shares["a"] == 2 and shares["b"] == 2 and shares["c"] == 1
+        assert governor.shares() == shares  # stable across calls
+
+    def test_zero_and_negative_priorities_rejected_everywhere(self):
+        governor = FairShareGovernor(4)
+        with pytest.raises(ValueError):
+            governor.register("job", 0.0)
+        with pytest.raises(ValueError):
+            governor.register("job", -2.0)
+        # A rejected registration must not leave a phantom owner behind.
+        governor.register("real", 1.0)
+        assert governor.shares() == {"real": 4}
+
+    def test_unregister_mid_apportionment_is_safe(self):
+        # Cancellation can unregister an owner from the dispatcher thread
+        # while schedulers read allowances from theirs: the reader always
+        # sees a consistent apportionment and never crashes.
+        governor = FairShareGovernor(4)
+        governor.register("stays", 1.0)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    governor.register("flaps", 3.0)
+                    governor.unregister("flaps")
+            except Exception as exc:  # noqa: BLE001 - surfaced to the test
+                errors.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(2000):
+                allowance = governor.allowance("stays")
+                assert allowance in (1, 4)  # with or without the co-tenant
+                shares = governor.shares()
+                assert shares["stays"] >= 1
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert not errors
+        assert governor.allowance("stays") == 4  # cancelled owner released
+
+    def test_allowance_never_below_one_slot(self):
+        # Even a sub-1% weight against many heavy co-tenants keeps one slot.
+        governor = FairShareGovernor(4)
+        governor.register("tiny", 0.01)
+        for i in range(6):
+            governor.register(f"heavy-{i}", 100.0)
+        shares = governor.shares()
+        assert shares["tiny"] == 1
+        assert all(share >= 1 for share in shares.values())
+        assert governor.allowance("tiny") == 1
+
     def test_governed_executor_tracks_allowance(self):
         governor = FairShareGovernor(4)
         inner = make_executor(4, backend="thread")
@@ -334,8 +405,11 @@ class TestCancelledStateRoundTrip:
                                    config=StudyConfig(n_trials=4),
                                    study_name="cancel-me")
             deadline = time.monotonic() + 5.0
+            # Wait for an actual in-flight trial (not just the RUNNING state):
+            # cancelling before the first trial exists is the queued-like path
+            # and records no CANCELLED trial rows.
             while (time.monotonic() < deadline
-                   and server.poll(job_id)["state"] != JobState.RUNNING.value):
+                   and server.poll(job_id)["num_trials"] < 1):
                 time.sleep(0.01)
             server.cancel(job_id)
             with pytest.raises(TrialError):
