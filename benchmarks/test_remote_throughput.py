@@ -1,0 +1,106 @@
+"""Remote tune service throughput: N concurrent SDK clients, one HTTP server.
+
+The paper's tune service is a shared, network-facing product: many SDK
+clients submit jobs into one server and follow them live.  This benchmark
+stands up a loopback :class:`~repro.automl.remote.http_server.RemoteTuneServer`
+and drives it with ``N_CLIENTS`` concurrent :class:`AntTuneClient` threads,
+each submitting its own job and consuming the job's full NDJSON event stream
+to the terminal event.  Reported: end-to-end wall clock, total events
+delivered over HTTP, and aggregate streamed events/sec — with every stream
+checked gapless (per-job ``seq`` is contiguous from 0), so the throughput
+number never hides dropped events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from common import save_result
+
+from repro.automl.events import JobStateChanged
+from repro.automl.remote import AntTuneClient, RemoteTuneServer
+from repro.experiments import format_table
+
+N_CLIENTS = 4
+N_TRIALS = 6          # per client job
+REPORTS_PER_TRIAL = 8
+
+# Importable by the server through the wire's module:attr references
+# (benchmarks/conftest.py puts this directory on sys.path).
+from repro.automl.search_space import SearchSpace, Uniform  # noqa: E402
+
+SPACE = SearchSpace({"x": Uniform(0.0, 1.0)})
+
+
+def objective(trial):
+    for step in range(REPORTS_PER_TRIAL):
+        trial.report(trial.params["x"] * (step + 1))
+    return trial.params["x"]
+
+
+def _drive_one_client(url: str, tag: int, results: dict, errors: list) -> None:
+    try:
+        client = AntTuneClient(url, timeout=15.0)
+        job_id = client.submit("test_remote_throughput:SPACE",
+                               "test_remote_throughput:objective",
+                               config={"n_trials": N_TRIALS}, seed=tag,
+                               study_name=f"bench-client-{tag}")
+        events = list(client.subscribe(job_id))
+        best = client.wait(job_id, timeout=60.0)
+        results[tag] = (job_id, events, best)
+    except Exception as exc:  # noqa: BLE001 - surface in the main thread
+        errors.append((tag, exc))
+
+
+def test_concurrent_clients_streaming_throughput():
+    results: dict = {}
+    errors: list = []
+    with RemoteTuneServer(num_workers=4, max_concurrent_jobs=N_CLIENTS,
+                          backend="thread") as remote:
+        threads = [threading.Thread(target=_drive_one_client,
+                                    args=(remote.url, tag, results, errors))
+                   for tag in range(N_CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - start
+        telemetry = remote.tune_server.server_status()["telemetry"]
+
+    assert not errors, errors
+    assert len(results) == N_CLIENTS
+
+    total_events = 0
+    for tag, (job_id, events, best) in sorted(results.items()):
+        assert best.value is not None
+        seqs = [event.seq for event in events]
+        assert seqs == list(range(len(events))), (
+            f"client {tag}: stream has gaps or duplicates")
+        assert isinstance(events[-1], JobStateChanged) and events[-1].terminal
+        assert all(event.job_id == job_id for event in events)
+        total_events += len(events)
+
+    events_per_sec = total_events / elapsed
+    trials_per_sec = (N_CLIENTS * N_TRIALS) / elapsed
+    rows = [{
+        "clients": N_CLIENTS,
+        "trials": N_CLIENTS * N_TRIALS,
+        "events_streamed": total_events,
+        "seconds": round(elapsed, 3),
+        "events_per_sec": round(events_per_sec, 1),
+        "trials_per_sec": round(trials_per_sec, 1),
+    }]
+    text = format_table(
+        rows, title=(f"{N_CLIENTS} concurrent SDK clients vs one HTTP tune "
+                     f"server ({N_TRIALS} trials x {REPORTS_PER_TRIAL} "
+                     f"reports each, loopback NDJSON streams); "
+                     f"event_queue_dropped="
+                     f"{telemetry['event_queue_dropped']}"))
+    save_result("remote_throughput", text)
+
+    # Conservative floor: loopback HTTP + JSON should stream far more than
+    # this; the assert only guards against pathological regressions.
+    assert events_per_sec > 50, (
+        f"remote event streaming collapsed to {events_per_sec:.1f} events/s")

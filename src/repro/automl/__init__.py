@@ -44,6 +44,9 @@ from repro.automl.transport import TelemetryTransport
 from repro.automl.study import Study, StudyConfig
 from repro.automl.trial import PrunedTrial, Trial, TrialCancelled, TrialState
 
+# Imported last: the remote layer sits on top of every module above.
+from repro.automl.remote import RemoteTuneClient, RemoteTuneServer  # noqa: E402
+
 __all__ = [
     "SearchSpace",
     "ParamSpec",
@@ -91,6 +94,8 @@ __all__ = [
     "RACOS",
     "AntTuneServer",
     "AntTuneClient",
+    "RemoteTuneServer",
+    "RemoteTuneClient",
     "JobState",
     "TuneJob",
     "pre_designed_model_space",

@@ -1,8 +1,9 @@
-"""Command-line interface for inspecting and managing stored studies.
+"""Command-line interface for the tune service: local studies and live servers.
 
 The tune service persists its studies into a SQLite file
 (:class:`~repro.automl.storage.StudyStorage`); this module is the operator's
-view onto that file::
+view onto that file — and, with ``--server URL``, onto a *live*
+:class:`~repro.automl.remote.http_server.RemoteTuneServer`::
 
     python -m repro.automl.cli --db anttune.db list
     python -m repro.automl.cli --db anttune.db show my-study
@@ -10,6 +11,14 @@ view onto that file::
         --space mypkg.search:SPACE --objective mypkg.search:objective
     python -m repro.automl.cli --db anttune.db delete my-study --yes
     python -m repro.automl.cli --db anttune.db gc --max-age-days 30 --dry-run
+
+    # the service itself
+    python -m repro.automl.cli --db anttune.db serve --port 8123
+    python -m repro.automl.cli list --server http://127.0.0.1:8123
+    python -m repro.automl.cli show 3 --server http://127.0.0.1:8123
+    python -m repro.automl.cli resume my-study --server http://127.0.0.1:8123 \
+        --space mypkg.search:SPACE --objective mypkg.search:objective
+    python -m repro.automl.cli cancel 3 --server http://127.0.0.1:8123
 
 ``list`` and ``show`` are read-only (WAL mode lets them run while a server
 checkpoints into the same file).  ``resume`` re-runs a study's remaining
@@ -19,6 +28,14 @@ caller provides.  ``delete`` drops a study and its trial rows after a
 confirmation prompt (``--yes`` skips it).  ``gc`` bulk-deletes terminal
 studies older than ``--max-age-days`` (``--dry-run`` previews, ``--states``
 narrows the statuses, ``--yes`` skips the prompt).
+
+``serve`` starts the HTTP front end on this machine's storage file.  With
+``--server URL`` the ``resume``/``list``/``show``/``cancel`` commands talk to
+such a server through the SDK client instead of touching any local file:
+``resume`` *submits* the continuation into the live server (sharing its
+worker pool, fair-share governor and event bus) and streams the job's event
+feed until it finishes — completing the story where the old in-process
+resume ran outside the service.
 """
 
 from __future__ import annotations
@@ -196,6 +213,121 @@ def _cmd_gc(storage: StudyStorage, args: argparse.Namespace,
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# Server-mode commands (--server URL): talk to a live RemoteTuneServer
+# --------------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Start the HTTP front end over this storage file (blocks until ^C)."""
+    from repro.automl.remote.http_server import RemoteTuneServer
+
+    remote = RemoteTuneServer(
+        host=args.host, port=args.port, token=args.token,
+        num_workers=args.workers, max_concurrent_jobs=args.max_jobs,
+        backend=args.backend, scheduler=args.scheduler,
+        storage=args.db if args.db != ":memory:" else None)
+    remote.start()
+    out(f"serving AntTune on {remote.url} "
+        f"(workers={args.workers}, backend={args.backend}, "
+        f"storage={args.db if args.db != ':memory:' else 'off'})")
+    try:
+        if args.run_seconds is not None:
+            time.sleep(args.run_seconds)
+        else:  # pragma: no cover - interactive mode, exercised manually
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        out("shutting down")
+    finally:
+        remote.stop()
+    return 0
+
+
+def _remote_client(args: argparse.Namespace):
+    from repro.automl.remote.client import AntTuneClient
+
+    return AntTuneClient(args.server, token=getattr(args, "token", None))
+
+
+def _cmd_remote_list(args: argparse.Namespace,
+                     out: Callable[[str], None]) -> int:
+    jobs = _remote_client(args).jobs()
+    if not jobs:
+        out("no jobs on the server")
+        return 0
+    rows = [[j["job_id"], j["study_name"], j["state"], j["num_trials"],
+             "-" if j["best_value"] is None else f"{j['best_value']:.6g}",
+             j["priority"]]
+            for j in jobs]
+    _print_table(["job", "study", "state", "trials", "best", "priority"],
+                 rows, out)
+    return 0
+
+
+def _remote_job_id(args: argparse.Namespace) -> int:
+    if not str(args.name).isdigit():
+        raise SystemExit(
+            f"error: with --server, expected a numeric job id, got {args.name!r} "
+            f"(use 'list --server ...' to find job ids)")
+    return int(args.name)
+
+
+def _cmd_remote_show(args: argparse.Namespace,
+                     out: Callable[[str], None]) -> int:
+    status = _remote_client(args).poll(_remote_job_id(args))
+    out(f"job:        {status['job_id']}")
+    out(f"study:      {status['study_name']}")
+    out(f"state:      {status['state']}")
+    out(f"trials:     {status['num_trials']} {status['states']}")
+    best = status["best_value"]
+    out("best:       " + ("-" if best is None else f"{best:.6g}"))
+    out(f"priority:   {status['priority']}")
+    telemetry = status.get("telemetry", {})
+    out(f"backpressure: transport_dropped={telemetry.get('transport_dropped', 0)} "
+        f"event_queue_dropped={telemetry.get('event_queue_dropped', 0)}")
+    if status["error"]:
+        out(f"error:      {status['error']}")
+    return 0
+
+
+def _cmd_remote_cancel(args: argparse.Namespace,
+                       out: Callable[[str], None]) -> int:
+    job_id = _remote_job_id(args)
+    if _remote_client(args).cancel(job_id):
+        out(f"job {job_id} cancelled")
+        return 0
+    out(f"job {job_id} had already finished")
+    return 1
+
+
+def _cmd_remote_resume(args: argparse.Namespace,
+                       out: Callable[[str], None]) -> int:
+    """Submit a stored study's continuation into the live server and follow it."""
+    client = _remote_client(args)
+    job_id = client.resume(args.name, args.space, args.objective,
+                           algorithm=args.algorithm,
+                           priority=args.priority, preempt=args.preempt)
+    out(f"resumed {args.name!r} as job {job_id} on {args.server}")
+    if args.no_wait:
+        return 0
+    from repro.automl.events import JobStateChanged, TrialFinished
+
+    for event in client.subscribe(job_id):
+        if isinstance(event, TrialFinished):
+            value = "-" if event.value is None else f"{event.value:.6g}"
+            out(f"  trial {event.trial_id}: {event.state} value={value}")
+        elif isinstance(event, JobStateChanged):
+            out(f"  job {job_id}: {event.state}")
+    status = client.poll(job_id)
+    if status["state"] != "completed":
+        out(f"job {job_id} finished {status['state']}"
+            + (f": {status['error']}" if status["error"] else ""))
+        return 1
+    best = client.wait(job_id, timeout=30.0)
+    out(f"done: best value {best.value:.6g} from trial {best.trial_id} "
+        f"with params {best.params}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.automl.cli`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
@@ -206,13 +338,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: %(default)s)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="summarise every stored study")
+    def add_server_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--server", metavar="URL",
+                       help="talk to a live tune server at this base URL "
+                            "instead of the local --db file")
+        p.add_argument("--token",
+                       help="bearer token for --server (when it requires one)")
 
-    show = sub.add_parser("show", help="per-trial detail of one study")
-    show.add_argument("name", help="study name")
+    lst = sub.add_parser(
+        "list", help="summarise every stored study (or, with --server, "
+                     "every job on a live server)")
+    add_server_options(lst)
+
+    show = sub.add_parser(
+        "show", help="per-trial detail of one study (with --server: one "
+                     "job's live status by job id)")
+    show.add_argument("name", help="study name (or job id with --server)")
+    add_server_options(show)
 
     resume = sub.add_parser(
-        "resume", help="re-run a study's remaining trial budget")
+        "resume", help="re-run a study's remaining trial budget (with "
+                       "--server: submit the continuation into a live "
+                       "server and stream its events)")
     resume.add_argument("name", help="study name")
     resume.add_argument("--space", required=True, metavar="MODULE:ATTR",
                         help="import path of the SearchSpace the study used")
@@ -222,10 +369,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="import path of the algorithm instance/factory "
                              "(required when the study used a non-default one)")
     resume.add_argument("--workers", type=int, default=1,
-                        help="worker pool size (default: %(default)s)")
+                        help="worker pool size (default: %(default)s; "
+                             "local mode only)")
     resume.add_argument("--backend", default="auto",
                         choices=("auto", "sync", "thread", "process"),
-                        help="executor backend (default: %(default)s)")
+                        help="executor backend (default: %(default)s; "
+                             "local mode only)")
+    resume.add_argument("--priority", type=float, default=1.0,
+                        help="fair-share weight on the server "
+                             "(default: %(default)s; --server only)")
+    resume.add_argument("--preempt", action="store_true",
+                        help="claim the fair share immediately on start "
+                             "(--server only)")
+    resume.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return instead of "
+                             "streaming events (--server only)")
+    add_server_options(resume)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running job on a live server "
+                       "(requires --server)")
+    cancel.add_argument("name", help="job id")
+    add_server_options(cancel)
+
+    serve = sub.add_parser(
+        "serve", help="serve the tune service over HTTP on this --db file")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8123,
+                       help="bind port; 0 picks a free one "
+                            "(default: %(default)s)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="shared trial worker pool size "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-jobs", type=int, default=2,
+                       help="jobs advancing concurrently "
+                            "(default: %(default)s)")
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "sync", "thread", "process"),
+                       help="executor backend (default: %(default)s)")
+    serve.add_argument("--scheduler", default=None,
+                       choices=("round", "async"),
+                       help="trial scheduling discipline "
+                            "(default: round)")
+    serve.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer <token>' on "
+                            "every request")
+    serve.add_argument("--run-seconds", type=float, default=None,
+                       help="serve for this long then exit "
+                            "(default: until interrupted; mainly for tests)")
 
     delete = sub.add_parser("delete", help="drop a study and its trial rows")
     delete.add_argument("name", help="study name")
@@ -259,6 +451,25 @@ def main(argv: Optional[Sequence[str]] = None,
         Process exit code (0 on success).
     """
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        # serve creates the storage file if missing (a fresh service).
+        return _cmd_serve(args, out)
+    if getattr(args, "server", None):
+        remote_commands = {"list": _cmd_remote_list, "show": _cmd_remote_show,
+                           "resume": _cmd_remote_resume,
+                           "cancel": _cmd_remote_cancel}
+        try:
+            return remote_commands[args.command](args, out)
+        except TrialError as exc:
+            out(f"error: {exc}")
+            return 1
+        except ValueError as exc:  # the server rejected the request shape
+            out(f"error: {exc}")
+            return 2
+    if args.command == "cancel":
+        out("error: cancel needs --server URL; jobs live on a running "
+            "tune server, not in the storage file")
+        return 2
     commands = {"list": _cmd_list, "show": _cmd_show,
                 "resume": _cmd_resume, "delete": _cmd_delete, "gc": _cmd_gc}
     if args.db != ":memory:" and not Path(args.db).exists():

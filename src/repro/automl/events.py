@@ -66,6 +66,9 @@ __all__ = [
     "Event",
     "EventBus",
     "Subscription",
+    "EVENT_TYPES",
+    "event_to_wire",
+    "event_from_wire",
 ]
 
 
@@ -164,6 +167,69 @@ class JobStateChanged:
 Event = Union[TrialStarted, TrialReport, TrialKilled, TrialFinished,
               JobStateChanged]
 
+#: Wire name -> event class, the registry both serialisation directions use.
+EVENT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (TrialStarted, TrialReport, TrialKilled, TrialFinished,
+                JobStateChanged)
+}
+
+
+def event_to_wire(event: Event) -> Dict[str, object]:
+    """Serialise an event into a JSON-compatible dict (``type`` + fields).
+
+    The payload round-trips through :func:`event_from_wire`:
+    ``event_from_wire(event_to_wire(e)) == e`` for every event type, so the
+    remote layer can ship the exact in-process stream over HTTP.
+
+    Args:
+        event: any :data:`Event` instance.
+
+    Returns:
+        A dict of the event's fields plus a ``"type"`` discriminator.
+
+    Raises:
+        TypeError: for an object that is not a known event type.
+    """
+    name = type(event).__name__
+    if EVENT_TYPES.get(name) is not type(event):
+        raise TypeError(f"not a known event type: {type(event)!r}")
+    payload = dataclasses.asdict(event)
+    payload["type"] = name
+    return payload
+
+
+def event_from_wire(payload: Dict[str, object]) -> Event:
+    """Rebuild a typed event from its :func:`event_to_wire` dict.
+
+    Unknown keys are ignored (a newer server may add fields; an older client
+    must still parse the stream), but the ``type`` discriminator must name a
+    known event class and its required fields must be present.
+
+    Args:
+        payload: a dict produced by :func:`event_to_wire` (possibly after a
+            JSON round trip).
+
+    Returns:
+        The reconstructed event.
+
+    Raises:
+        ValueError: missing/unknown ``type`` or missing required fields.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"event payload must be a dict, got {type(payload).__name__}")
+    name = payload.get("type")
+    cls = EVENT_TYPES.get(name) if isinstance(name, str) else None
+    if cls is None:
+        raise ValueError(f"unknown event type {name!r}; expected one of "
+                         f"{sorted(EVENT_TYPES)}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {key: value for key, value in payload.items() if key in known}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"malformed {name} event payload: {exc}") from None
+
 
 class Subscription:
     """One consumer of a job's event stream (iterator or callback form).
@@ -224,6 +290,7 @@ class Subscription:
                     try:
                         self._queue.get_nowait()
                         self.dropped += 1
+                        self._bus._note_drop(self.job_id)
                     except queue_module.Empty:  # pragma: no cover - raced
                         break                   # consumer
             self._queue.put(event)
@@ -328,6 +395,11 @@ class EventBus:
         self._history: Dict[Optional[int], Deque[Event]] = {}
         self._turnstiles: Dict[Optional[int], _DeliveryTurnstile] = {}
         self._finished_jobs: List[Optional[int]] = []  # terminal order
+        # Events shed by lagging subscriber queues, tallied per job across
+        # every subscription (including closed ones) so backpressure stays
+        # observable through server.status() after the consumer went away.
+        self._dropped: Dict[Optional[int], int] = {}
+        self._dropped_lock = threading.Lock()
 
     def publish(self, event: Event) -> Event:
         """Stamp ``event`` with its per-job sequence number and deliver it.
@@ -456,6 +528,27 @@ class EventBus:
                 subs.remove(sub)
                 if not subs:
                     self._subs.pop(sub.job_id, None)
+
+    def _note_drop(self, job_id: Optional[int]) -> None:
+        # Called from Subscription._deliver under the subscription's own
+        # lock; a dedicated lock avoids any interplay with the bus lock.
+        with self._dropped_lock:
+            self._dropped[job_id] = self._dropped.get(job_id, 0) + 1
+
+    def dropped(self, job_id: Optional[int]) -> int:
+        """Events shed by ``job_id``'s subscriber queues (all subscriptions).
+
+        Counts live and already-closed subscriptions alike, so a burst that
+        outran a consumer stays visible in :meth:`AntTuneServer.status
+        <repro.automl.server.AntTuneServer.status>` after the fact.
+        """
+        with self._dropped_lock:
+            return self._dropped.get(job_id, 0)
+
+    def dropped_total(self) -> int:
+        """Events shed by subscriber queues across every job on this bus."""
+        with self._dropped_lock:
+            return sum(self._dropped.values())
 
     def terminated(self, job_id: Optional[int]) -> bool:
         """Whether ``job_id``'s stream has seen its terminal event."""

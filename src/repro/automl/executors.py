@@ -268,6 +268,17 @@ class TrialExecutor:
             return drain(self)
         return 0
 
+    @property
+    def telemetry_dropped(self) -> int:
+        """Report records shed by the telemetry channel since construction.
+
+        Thread and sync backends share trial objects with the objective, so
+        nothing is ever shed (0); the process backend reports its
+        shared-memory ring's overflow count — cumulative across pool rebuilds
+        — so backpressure is observable through ``server.status()``.
+        """
+        return 0
+
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
         """Deliver a kill signal to an in-flight trial (cooperative).
 
@@ -649,6 +660,9 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         # remote signal is never lost in that window.
         self._pending_kills: Dict[int, str] = {}
         self._transport: Optional[TelemetryTransport] = None
+        # Ring-overflow drops accumulated from transports of discarded pools,
+        # so telemetry_dropped stays cumulative across rebuilds.
+        self._dropped_baseline = 0
 
     def _ensure_pool(self) -> "tuple[ProcessPoolExecutor, TelemetryTransport]":
         """The live (pool, transport) pair, created together.
@@ -673,6 +687,8 @@ class ProcessPoolTrialExecutor(TrialExecutor):
     def _discard_pool(self) -> None:
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            if self._transport is not None:
+                self._dropped_baseline += self._transport.dropped
             self._transport = None
         if pool is not None:
             pool.shutdown(wait=False)
@@ -777,6 +793,13 @@ class ProcessPoolTrialExecutor(TrialExecutor):
                         values.append(float(value))
                         mirrored += 1
         return mirrored
+
+    @property
+    def telemetry_dropped(self) -> int:
+        """Report records shed to ring overflow, cumulative across rebuilds."""
+        with self._pool_lock:
+            live = 0 if self._transport is None else self._transport.dropped
+            return self._dropped_baseline + live
 
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
         """Kill locally and signal the remote worker via the shared kill flag."""

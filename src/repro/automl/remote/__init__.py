@@ -1,0 +1,40 @@
+"""Remote tune service: HTTP/JSON wire layer over :class:`AntTuneServer`.
+
+The event-driven control plane (PR 4) publishes every job's lifecycle as one
+ordered stream; this package puts that substrate on the network:
+
+* :mod:`repro.automl.remote.api` — the versioned JSON wire schema: request
+  validation, event serialisation (via :func:`repro.automl.events.event_to_wire`),
+  ``module:attr`` code references and typed protocol errors.
+* :mod:`repro.automl.remote.http_server` — :class:`RemoteTuneServer`, a
+  stdlib-only threaded HTTP server wrapping an in-process
+  :class:`~repro.automl.server.AntTuneServer`: submit/resume/status/wait/
+  cancel/list endpoints plus a resumable NDJSON event stream per job.
+* :mod:`repro.automl.remote.client` — :class:`AntTuneClient`, the SDK-side
+  mirror of the in-process API (``submit``/``poll``/``wait``/``cancel``/
+  ``subscribe``) speaking the wire schema, with reconnect-and-replay on
+  dropped event streams.
+"""
+
+from repro.automl.remote.api import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    load_ref,
+    parse_config,
+    parse_submit,
+    trial_from_record,
+)
+from repro.automl.remote.client import AntTuneClient, RemoteTuneClient
+from repro.automl.remote.http_server import RemoteTuneServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "load_ref",
+    "parse_config",
+    "parse_submit",
+    "trial_from_record",
+    "AntTuneClient",
+    "RemoteTuneClient",
+    "RemoteTuneServer",
+]

@@ -1,0 +1,465 @@
+"""Stdlib-only HTTP/JSON front end for the tune service.
+
+:class:`RemoteTuneServer` wraps an in-process
+:class:`~repro.automl.server.AntTuneServer` with a threaded
+``http.server`` endpoint speaking the versioned wire schema of
+:mod:`repro.automl.remote.api`:
+
+====================================  =========================================
+``GET  /v1/health``                   liveness + protocol version
+``GET  /v1/status``                   server-wide snapshot (jobs, backpressure)
+``POST /v1/jobs``                     submit (space/objective refs, priority,
+                                      preempt, seed) -> ``{"job_id": n}``
+``GET  /v1/jobs``                     status snapshots of every job
+``GET  /v1/jobs/{id}``                one job's status (incl. telemetry drops)
+``GET  /v1/jobs/{id}/wait``           block (bounded) for the result
+``POST /v1/jobs/{id}/cancel``         cancel a queued or running job
+``GET  /v1/jobs/{id}/events``         NDJSON event stream, resumable via
+                                      ``?last_seq=N``
+``POST /v1/resume``                   resume a stored study as a new job
+====================================  =========================================
+
+The event stream is the server-side half of ``subscribe()``: each line is one
+:func:`~repro.automl.events.event_to_wire` payload carrying the job's
+monotonic ``seq``.  A client that lost its connection reconnects with
+``last_seq=<highest seq it saw>`` and the bounded bus history replays the
+gap — same drop-oldest semantics as in-process subscriptions, with the
+per-connection queue bound settable via ``?max_queue=``.  Blank heartbeat
+lines are emitted while the stream idles so dead connections are noticed and
+their handler threads released.
+
+Failure handling: schema violations answer 4xx JSON error bodies
+(:class:`~repro.automl.remote.api.ProtocolError` carries the status), unknown
+jobs/studies answer 404, conflicts (duplicate study names) 409, and anything
+unexpected 500 — the handler thread never takes the server down.  A ``token``
+enables bearer auth (401 without it); override :meth:`RemoteTuneServer.check_auth`
+for anything fancier.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.automl.events import JobStateChanged, event_to_wire
+from repro.automl.remote.api import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_resume,
+    parse_submit,
+)
+from repro.automl.server import AntTuneServer
+from repro.exceptions import TrialError
+from repro.utils.rng import new_rng
+
+__all__ = ["RemoteTuneServer"]
+
+# How long a single /wait request may block its handler thread; clients poll.
+MAX_WAIT_SECONDS = 60.0
+# Idle heartbeat period on event streams (blank NDJSON line): detects dead
+# connections and keeps read timeouts from firing on quiet jobs.
+HEARTBEAT_SECONDS = 5.0
+# Socket send timeout on event streams: a connected client that stopped
+# *reading* fills the TCP window and would otherwise block the handler
+# thread (and pin its subscription) forever.
+STREAM_SEND_TIMEOUT = 30.0
+
+
+def _json_bytes(payload: object) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.remote`` is injected by :class:`RemoteTuneServer`."""
+
+    remote: "RemoteTuneServer"
+    protocol_version = "HTTP/1.1"
+    # The default handler logs every request to stderr; route through the
+    # remote server's hook so tests/operators control verbosity.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        self.remote.log(f"{self.address_string()} - {format % args}")
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _reply(self, status: int, payload: object,
+               close: bool = False) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        # Errors may be answered before the request body was consumed (bad
+        # auth, unknown route): closing the connection keeps a keep-alive
+        # client's stream from desyncing on the unread bytes.
+        self.close_connection = True
+        self._reply(status, {"error": message, "protocol": PROTOCOL_VERSION},
+                    close=True)
+
+    def _bearer_token(self) -> Optional[str]:
+        header = self.headers.get("Authorization", "")
+        scheme, _, credentials = header.partition(" ")
+        if scheme.lower() == "bearer" and credentials:
+            return credentials.strip()
+        return None
+
+    def _read_body(self) -> object:
+        length = self.headers.get("Content-Length")
+        try:
+            size = int(length) if length is not None else 0
+        except ValueError:
+            raise ProtocolError("invalid Content-Length header") from None
+        if size <= 0:
+            raise ProtocolError("request requires a JSON body")
+        if size > 1 << 20:
+            raise ProtocolError("request body too large", status=413)
+        raw = self.rfile.read(size)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") \
+                from None
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        split = urllib.parse.urlsplit(self.path)
+        params = dict(urllib.parse.parse_qsl(split.query,
+                                             keep_blank_values=True))
+        return split.path.rstrip("/") or "/", params
+
+    @staticmethod
+    def _int_param(params: Dict[str, str], key: str, default: int) -> int:
+        raw = params.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ProtocolError(f"query parameter {key!r} must be an "
+                                f"integer, got {raw!r}") from None
+
+    @staticmethod
+    def _float_param(params: Dict[str, str], key: str,
+                     default: float) -> float:
+        raw = params.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ProtocolError(f"query parameter {key!r} must be a "
+                                f"number, got {raw!r}") from None
+
+    def _job_id(self, segment: str) -> int:
+        if not segment.isdigit():
+            raise ProtocolError(f"job id must be an integer, got {segment!r}",
+                                status=404)
+        return int(segment)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str) -> None:
+        try:
+            path, params = self._query()
+            if not self.remote.check_auth(self._bearer_token()):
+                self._error(401, "missing or invalid bearer token")
+                return
+            handler = self._route(method, path)
+            if handler is None:
+                self._error(404, f"no such endpoint: {method} {path}")
+                return
+            handler(params)
+        except ProtocolError as exc:
+            self._safe_error(exc.status, str(exc))
+        except TrialError as exc:
+            message = str(exc)
+            status = 404 if message.startswith("unknown") else 409
+            self._safe_error(status, message)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - one bad request must never
+            # take the server (or even its connection thread) down.
+            self._safe_error(500, f"{type(exc).__name__}: {exc}")
+
+    def _safe_error(self, status: int, message: str) -> None:
+        try:
+            self._error(status, message)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _route(self, method: str, path: str):
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            return None
+        parts = parts[1:]
+        if method == "GET":
+            if parts == ["health"]:
+                return self._get_health
+            if parts == ["status"]:
+                return self._get_status
+            if parts == ["jobs"]:
+                return self._get_jobs
+            if len(parts) == 2 and parts[0] == "jobs":
+                return lambda params: self._get_job(parts[1], params)
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "wait":
+                return lambda params: self._get_wait(parts[1], params)
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                return lambda params: self._get_events(parts[1], params)
+        elif method == "POST":
+            if parts == ["jobs"]:
+                return self._post_submit
+            if parts == ["resume"]:
+                return self._post_resume
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                return lambda params: self._post_cancel(parts[1], params)
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _get_health(self, params: Dict[str, str]) -> None:
+        self._reply(200, {"ok": True, "protocol": PROTOCOL_VERSION})
+
+    def _get_status(self, params: Dict[str, str]) -> None:
+        payload = self.remote.tune_server.server_status()
+        payload["protocol"] = PROTOCOL_VERSION
+        self._reply(200, payload)
+
+    def _get_jobs(self, params: Dict[str, str]) -> None:
+        self._reply(200, {"jobs": self.remote.tune_server.jobs()})
+
+    def _get_job(self, segment: str, params: Dict[str, str]) -> None:
+        job_id = self._job_id(segment)
+        self._reply(200, self.remote.tune_server.status(job_id))
+
+    def _post_submit(self, params: Dict[str, str]) -> None:
+        kwargs = parse_submit(self._read_body())
+        seed = kwargs.pop("seed", None)
+        if seed is not None:
+            kwargs["rng"] = new_rng(seed)
+        job_id = self.remote.tune_server.submit(**kwargs)
+        self._reply(200, {"job_id": job_id, "protocol": PROTOCOL_VERSION})
+
+    def _post_resume(self, params: Dict[str, str]) -> None:
+        kwargs = parse_resume(self._read_body())
+        job_id = self.remote.tune_server.resume(**kwargs)
+        self._reply(200, {"job_id": job_id, "protocol": PROTOCOL_VERSION})
+
+    def _post_cancel(self, segment: str, params: Dict[str, str]) -> None:
+        job_id = self._job_id(segment)
+        cancelled = self.remote.tune_server.cancel(job_id)
+        self._reply(200, {"job_id": job_id, "cancelled": cancelled})
+
+    def _get_wait(self, segment: str, params: Dict[str, str]) -> None:
+        """Bounded blocking wait; clients poll until ``done``.
+
+        The per-request block is capped at :data:`MAX_WAIT_SECONDS` so one
+        slow job cannot pin handler threads forever; the SDK's ``wait()``
+        re-issues the request until its own (possibly unbounded) timeout.
+        """
+        job_id = self._job_id(segment)
+        timeout = min(self._float_param(params, "timeout", 10.0),
+                      MAX_WAIT_SECONDS)
+        tune = self.remote.tune_server
+        try:
+            best = tune.wait(job_id, timeout=max(0.0, timeout))
+        except TrialError as exc:
+            status = tune.status(job_id)  # raises 404 for unknown ids
+            if not status["finished"]:
+                self._reply(200, {"done": False, "state": status["state"]})
+                return
+            self._reply(200, {"done": True, "state": status["state"],
+                              "error": status["error"] or str(exc),
+                              "best": None})
+            return
+        self._reply(200, {"done": True, "state": "completed", "error": None,
+                          "best": best.as_record()})
+
+    def _get_events(self, segment: str, params: Dict[str, str]) -> None:
+        """Stream one job's ordered event feed as NDJSON until terminal.
+
+        ``last_seq`` skips everything the client already saw (replay comes
+        from the bus's bounded history); ``max_queue`` bounds this
+        connection's live queue with the bus's drop-oldest semantics, so a
+        slow consumer lags (and sees a seq gap it can re-request) instead of
+        back-pressuring the publishers.
+        """
+        job_id = self._job_id(segment)
+        last_seq = self._int_param(params, "last_seq", -1)
+        max_queue = self._int_param(params, "max_queue", 1024)
+        if max_queue < 1:
+            raise ProtocolError("max_queue must be >= 1")
+        subscription = self.remote.tune_server.subscribe(job_id,
+                                                         max_queue=max_queue)
+        try:
+            # A client that stops *reading* must not pin this thread: once
+            # the TCP window fills, writes block — bound them so the wedged
+            # connection is torn down and the subscription released.
+            self.connection.settimeout(STREAM_SEND_TIMEOUT)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Cache-Control", "no-store")
+            # Close-delimited stream: its length is unknowable up front.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            while True:
+                try:
+                    event = subscription.get(timeout=HEARTBEAT_SECONDS)
+                except TimeoutError:
+                    # Idle heartbeat: keeps client read timeouts quiet and
+                    # surfaces a dead connection as a write error here.
+                    self.wfile.write(b"\n")
+                    self.wfile.flush()
+                    continue
+                if event is None:
+                    return  # terminal event already delivered
+                if event.seq > last_seq:
+                    self.wfile.write(_json_bytes(event_to_wire(event)))
+                    self.wfile.flush()
+                if isinstance(event, JobStateChanged) and event.terminal:
+                    return
+        except OSError:
+            # Disconnected or stalled client (reset, broken pipe, send
+            # timeout): drop the stream; it can resume with last_seq.
+            return
+        finally:
+            subscription.close()
+            self.close_connection = True
+
+
+class RemoteTuneServer:
+    """Serve an :class:`AntTuneServer` over HTTP/JSON on a loopback (or any) port.
+
+    Args:
+        tune_server: the in-process server to expose; constructed from
+            ``server_kwargs`` when omitted (and then owned — shut down with
+            the HTTP layer).
+        host: bind address (default loopback).
+        port: bind port; 0 picks a free one (see :attr:`address`).
+        token: when set, every request must carry
+            ``Authorization: Bearer <token>`` (else 401).  Override
+            :meth:`check_auth` for custom schemes.
+        log: optional callable receiving one line per handled request.
+        **server_kwargs: forwarded to :class:`AntTuneServer` when
+            ``tune_server`` is omitted (``num_workers=``, ``storage=``, ...).
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with RemoteTuneServer(num_workers=2) as remote:
+            client = AntTuneClient(remote.url)
+            ...
+    """
+
+    def __init__(self, tune_server: Optional[AntTuneServer] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 token: Optional[str] = None,
+                 log: Optional[object] = None,
+                 **server_kwargs: object) -> None:
+        self._owns_tune_server = tune_server is None
+        self.tune_server = (tune_server if tune_server is not None
+                            else AntTuneServer(**server_kwargs))  # type: ignore[arg-type]
+        self.token = token
+        self._log = log
+        handler = type("BoundHandler", (_Handler,), {"remote": self})
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), handler)
+        except OSError:
+            # Bind failure (port in use, bad host): a tune server this
+            # wrapper constructed — and so owns — must not leak its pool.
+            if self._owns_tune_server:
+                self.tune_server.shutdown()
+            raise
+        # Handler threads must not block interpreter exit: an event stream
+        # can legitimately stay open for a job's whole lifetime.
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients connect to (e.g. ``http://127.0.0.1:8123``)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def log(self, line: str) -> None:
+        """Request-log hook; default drops the line (override or pass log=)."""
+        if self._log is not None:
+            self._log(line)
+
+    def check_auth(self, token: Optional[str]) -> bool:
+        """Whether a request presenting ``token`` may proceed.
+
+        The default accepts everything when the server has no token, and
+        requires an exact bearer match otherwise.  Override for custom
+        schemes (keys per client, allow-lists, ...).
+        """
+        if self.token is None:
+            return True
+        return token == self.token
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "RemoteTuneServer":
+        """Serve in a background thread and return self (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="anttune-http",
+                                            daemon=True)
+            self._thread.start()
+            self._started = True
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``serve`` command's mode)."""
+        self._started = True
+        self._httpd.serve_forever()
+
+    def stop(self, shutdown_tune_server: Optional[bool] = None) -> None:
+        """Stop accepting requests; optionally shut the tune server down.
+
+        Args:
+            shutdown_tune_server: defaults to whether this wrapper
+                constructed (and so owns) the in-process server.
+        """
+        if self._started:
+            # BaseServer.shutdown() waits on a flag only serve_forever()
+            # ever sets — calling it on a never-started server deadlocks.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._started = False
+        owns = (self._owns_tune_server if shutdown_tune_server is None
+                else shutdown_tune_server)
+        if owns:
+            self.tune_server.shutdown()
+
+    def __enter__(self) -> "RemoteTuneServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

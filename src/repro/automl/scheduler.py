@@ -647,6 +647,10 @@ class GovernedExecutor(TrialExecutor):
     def drain_telemetry(self) -> int:
         return self.inner.drain_telemetry()
 
+    @property
+    def telemetry_dropped(self) -> int:  # type: ignore[override]
+        return self.inner.telemetry_dropped
+
     def kill_trial(self, trial: Trial, reason: str = KILL_CANCELLED) -> None:
         self.inner.kill_trial(trial, reason)
 

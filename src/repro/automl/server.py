@@ -198,6 +198,10 @@ class AntTuneServer:
         # server never silently upserts over studies a previous process
         # persisted under the same job ids.
         self._instance_id = uuid.uuid4().hex[:8]
+        # Background storage-writer threads, one per persisted job; joined by
+        # shutdown() so no trial rows are lost at close.
+        self._writers: List[threading.Thread] = []
+        self._writers_lock = threading.Lock()
         self._executor: Optional[TrialExecutor] = None
         self._dispatcher: Optional[ThreadPoolExecutor] = None
         self._closed = False
@@ -365,10 +369,12 @@ class AntTuneServer:
         study._event_sink = self._event_sink_for(job_id)
         if self.storage is not None:
             # Trial history persists off the event stream: terminal trials
-            # land as rows the moment their TrialFinished event publishes,
-            # between (and independent of) full payload checkpoints.
-            self._bus.subscribe(job_id,
-                                callback=self._storage_listener(job))
+            # land as rows shortly after their TrialFinished event publishes,
+            # between (and independent of) full payload checkpoints.  The
+            # writer is a background thread draining an iterator
+            # subscription, so storage commits never run on (or block) the
+            # publisher's thread.
+            self._start_storage_writer(job)
             try:
                 self.storage.save_study(job.study_name, study,
                                         status=JobState.QUEUED.value)
@@ -416,30 +422,44 @@ class AntTuneServer:
             state=job.state.value, error=job.error, terminal=terminal,
             job_id=job.job_id))
 
-    def _storage_listener(self, job: TuneJob) -> Callable[[Event], None]:
-        """A bus callback persisting this job's stream into storage.
+    def _start_storage_writer(self, job: TuneJob) -> None:
+        """Persist this job's event stream from a background writer thread.
 
-        Best effort by design: the dispatcher's checkpoint/finalise path still
-        saves the authoritative study payload, so a dying storage here must
-        neither crash the publisher nor mark the job failed.
+        The writer drains an iterator subscription (subscribed before the
+        job's first event publishes, so it observes the whole stream) and
+        exits when the terminal event arrives — every lifecycle path
+        publishes one, so the thread never leaks.  :meth:`shutdown` joins the
+        writers, flushing any still-queued rows before the server closes.
 
-        The commit is synchronous on the publisher's thread, but only
-        TrialFinished/JobStateChanged touch storage (TrialReport — the
-        high-frequency event — falls through), so the cost is one small WAL
-        commit per *trial*, paid by a scheduler that just spent the trial's
-        whole runtime; the per-job turnstile keeps it off other jobs'
-        streams.  A background writer would decouple it entirely (ROADMAP).
+        Best effort by design: the dispatcher's checkpoint/finalise path
+        still saves the authoritative study payload, so a dying storage here
+        must neither crash the writer nor mark the job failed — and the
+        publisher's thread is never involved at all.  The subscription queue
+        is wide (8192 events) and only TrialFinished/JobStateChanged touch
+        storage; should an extreme burst still shed rows, the final
+        ``save_study`` backfills them.
         """
+        subscription = self._bus.subscribe(job.job_id, max_queue=8192)
         storage, name = self.storage, job.study_name
-        def on_event(event: Event) -> None:
-            try:
-                if isinstance(event, TrialFinished):
-                    storage.record_trial(name, event.record)
-                elif isinstance(event, JobStateChanged):
-                    storage.set_status(name, event.state)
-            except Exception:  # noqa: BLE001 - never break publish()
-                pass
-        return on_event
+
+        def drain() -> None:
+            for event in subscription:
+                try:
+                    if isinstance(event, TrialFinished):
+                        storage.record_trial(name, event.record)
+                    elif isinstance(event, JobStateChanged):
+                        storage.set_status(name, event.state)
+                except Exception:  # noqa: BLE001 - keep draining to terminal
+                    pass
+
+        thread = threading.Thread(target=drain, daemon=True,
+                                  name=f"anttune-storage-{job.job_id}")
+        with self._writers_lock:
+            # Finished jobs' writers have exited: prune them here so a
+            # long-lived server doesn't accumulate one dead Thread per job.
+            self._writers = [t for t in self._writers if t.is_alive()]
+            self._writers.append(thread)
+        thread.start()
 
     def subscribe(self, job_id: int,
                   callback: Optional[Callable[[Event], None]] = None,
@@ -549,15 +569,31 @@ class AntTuneServer:
             self._publish_job_state(job, terminal=True)
             job._done.set()
 
+    @staticmethod
+    def _select_victims(trials: List[Trial], excess: int) -> List[Trial]:
+        """Pick ``excess`` preemption victims by least reported progress.
+
+        The cost model sheds the cheapest work first: a trial that has
+        streamed the fewest telemetry reports has the least invested compute
+        to throw away (its requeued re-run repeats the least), with the
+        youngest trial id breaking ties — so a nearly-done trial is spared
+        even when it happens to be the youngest.
+        """
+        return sorted(
+            trials,
+            key=lambda t: (len(t.intermediate_values), -t.trial_id))[:excess]
+
     def _preempt_for(self, job: TuneJob) -> None:
-        """Kill co-tenants' youngest trials beyond their new fair share.
+        """Kill co-tenants' least-progressed trials beyond their new share.
 
         Called once when a ``preempt=True`` job starts (after its weight
-        registered with the governor).  Victims get the ``preempted`` kill
-        reason: their objectives stop at the next ``report()``, their
-        schedulers requeue the same configurations without charging a budget
-        slot or a retry, and the freed pool slots go to the new job within
-        one scheduling tick.
+        registered with the governor).  Victims are chosen by
+        :meth:`_select_victims` — fewest streamed reports first, youngest
+        trial id as the tiebreak — and get the ``preempted`` kill reason:
+        their objectives stop at the next ``report()``, their schedulers
+        requeue the same configurations without charging a budget slot or a
+        retry, and the freed pool slots go to the new job within one
+        scheduling tick.
         """
         with self._jobs_lock:
             others = [other for other in self._jobs.values()
@@ -565,6 +601,13 @@ class AntTuneServer:
                       and other.state is JobState.RUNNING]
         if not others:
             return
+        try:
+            executor = self.executor
+        except TrialError:
+            return  # shutting down: nothing left to preempt for
+        # Pull the freshest progress counts before costing victims: process
+        # workers' reports only become visible to the parent on a drain.
+        executor.drain_telemetry()
         running: Dict[int, List[Trial]] = {}
         for other in others:
             with other.study._lock:
@@ -574,17 +617,11 @@ class AntTuneServer:
                     and trial.kill_reason is None]
         overage = self._governor.overage(
             {job_id: len(trials) for job_id, trials in running.items()})
-        try:
-            executor = self.executor
-        except TrialError:
-            return  # shutting down: nothing left to preempt for
         for other in others:
             excess = overage.get(other.job_id, 0)
             if excess <= 0:
                 continue
-            victims = sorted(running[other.job_id],
-                             key=lambda trial: trial.trial_id)[-excess:]
-            for trial in victims:
+            for trial in self._select_victims(running[other.job_id], excess):
                 # Kill only; the TrialKilled event publishes from the
                 # victim's own scheduler when it settles the trial, so the
                 # event stream never shows a kill for (or sequenced after) a
@@ -713,8 +750,12 @@ class AntTuneServer:
         Returns:
             A dict with ``job_id``, ``state``, ``finished``, ``error``,
             ``num_trials``, per-state ``states`` counts, ``best_value``
-            (COMPLETED trials only), ``priority``, ``workers`` and
-            ``study_name``.
+            (COMPLETED trials only), ``priority``, ``workers``,
+            ``study_name`` and a ``telemetry`` sub-dict making backpressure
+            observable end to end: ``transport_dropped`` (report records
+            shed by the shared executor's telemetry channel — server-wide,
+            the pool is shared) and ``event_queue_dropped`` (events shed by
+            this job's lagging subscriber queues).
 
         Raises:
             TrialError: unknown job id.
@@ -746,13 +787,51 @@ class AntTuneServer:
             "preempt": job.preempt,
             "workers": list(job.workers),
             "study_name": job.study_name,
+            "telemetry": {
+                "transport_dropped": self._transport_dropped(),
+                "event_queue_dropped": self._bus.dropped(job_id),
+            },
         }
+
+    def _transport_dropped(self) -> int:
+        """Telemetry report records shed by the shared executor (0 if unbuilt)."""
+        with self._init_lock:
+            executor = self._executor
+        return 0 if executor is None else executor.telemetry_dropped
 
     def jobs(self) -> List[Dict[str, object]]:
         """Status snapshots of every job on this server, oldest first."""
         with self._jobs_lock:
             job_ids = sorted(self._jobs)
         return [self.status(job_id) for job_id in job_ids]
+
+    def server_status(self) -> Dict[str, object]:
+        """A server-wide snapshot: configuration, job counts, backpressure.
+
+        This is what the remote layer serves as ``GET /v1/status``: pool
+        sizing, how many jobs are in each lifecycle state, and the telemetry
+        drop counters (``transport_dropped`` report records shed by the
+        shared-memory ring, ``event_queue_dropped`` events shed by lagging
+        subscriber queues across all jobs), so backpressure is observable
+        end to end.
+        """
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        job_states: Dict[str, int] = {}
+        for job in jobs:
+            job_states[job.state.value] = job_states.get(job.state.value, 0) + 1
+        return {
+            "num_workers": self.num_workers,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "backend": self.backend,
+            "num_jobs": len(jobs),
+            "job_states": job_states,
+            "storage": None if self.storage is None else self.storage.path,
+            "telemetry": {
+                "transport_dropped": self._transport_dropped(),
+                "event_queue_dropped": self._bus.dropped_total(),
+            },
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -787,6 +866,14 @@ class AntTuneServer:
             # close(), not shutdown(): a job still draining (wait=False) must
             # not silently rebuild the pool and leak its workers.
             executor.close()
+        # Flush-on-close: every finished job's terminal event has published
+        # by now (the dispatcher drained above), so its storage writer is
+        # finishing its last commits — join them so no trial rows are lost.
+        # The timeout only bounds a wedged storage; writers are daemons.
+        with self._writers_lock:
+            writers, self._writers = self._writers, []
+        for thread in writers:
+            thread.join(timeout=10.0 if wait else 0.25)
 
     def __enter__(self) -> "AntTuneServer":
         return self

@@ -244,3 +244,120 @@ class TestGcCommand:
                                 "--yes")
         assert code == 2
         assert "error:" in output
+
+
+class TestServerMode:
+    """`serve` plus the --server client modes of resume/list/show/cancel."""
+
+    @pytest.fixture
+    def helper_module(self, tmp_path, monkeypatch):
+        module_dir = tmp_path / "modules"
+        module_dir.mkdir()
+        (module_dir / "cli_remote_helper.py").write_text(textwrap.dedent("""
+            from repro.automl.search_space import SearchSpace, Uniform
+
+            SPACE = SearchSpace({"x": Uniform(0.0, 1.0)})
+
+            def objective(trial):
+                return trial.params["x"]
+        """))
+        monkeypatch.syspath_prepend(str(module_dir))
+        yield "cli_remote_helper"
+        sys.modules.pop("cli_remote_helper", None)
+
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        from repro.automl.remote import RemoteTuneServer
+
+        path = str(tmp_path / "live.db")
+        _store_study(path, "partial", n_trials=4, run=2, status="failed")
+        with RemoteTuneServer(num_workers=2, backend="thread",
+                              storage=path) as remote:
+            yield remote
+
+    def test_serve_command_serves_http(self, tmp_path):
+        import threading
+        import time
+        import urllib.request
+
+        lines = []
+        runner = threading.Thread(
+            target=main,
+            args=(["--db", str(tmp_path / "serve.db"), "serve", "--port", "0",
+                   "--workers", "1", "--backend", "thread",
+                   "--run-seconds", "5"],),
+            kwargs={"out": lines.append}, daemon=True)
+        runner.start()
+        deadline = time.time() + 5.0
+        while not lines and time.time() < deadline:
+            time.sleep(0.02)
+        assert lines and lines[0].startswith("serving AntTune on http://")
+        url = lines[0].split()[3]
+        with urllib.request.urlopen(url + "/v1/health", timeout=5.0) as resp:
+            assert resp.status == 200
+
+    def test_remote_resume_streams_events_and_completes(self, live_server,
+                                                        helper_module):
+        code, output = _run_cli(
+            "resume", "partial", "--server", live_server.url,
+            "--space", f"{helper_module}:SPACE",
+            "--objective", f"{helper_module}:objective",
+            "--algorithm", "repro.automl:RandomSearch")
+        assert code == 0, output
+        assert "resumed 'partial' as job" in output
+        assert "trial" in output          # streamed TrialFinished lines
+        assert "job 0: completed" in output
+        assert "done: best value" in output
+        # The continuation ran *on the server*: its storage saw the trials.
+        with StudyStorage(live_server.tune_server.storage.path) as storage:
+            listed = {row["name"]: row for row in storage.list_studies()}
+            assert listed["partial"]["status"] == "completed"
+            assert listed["partial"]["completed"] == 4
+
+    def test_remote_resume_no_wait(self, live_server, helper_module):
+        code, output = _run_cli(
+            "resume", "partial", "--server", live_server.url,
+            "--space", f"{helper_module}:SPACE",
+            "--objective", f"{helper_module}:objective",
+            "--algorithm", "repro.automl:RandomSearch", "--no-wait")
+        assert code == 0, output
+        assert "resumed 'partial' as job 0" in output
+        assert "done:" not in output
+        live_server.tune_server.wait(0, timeout=10.0)
+
+    def test_remote_list_show_cancel(self, live_server, helper_module):
+        code, _ = _run_cli(
+            "resume", "partial", "--server", live_server.url,
+            "--space", f"{helper_module}:SPACE",
+            "--objective", f"{helper_module}:objective",
+            "--algorithm", "repro.automl:RandomSearch")
+        assert code == 0
+        code, output = _run_cli("list", "--server", live_server.url)
+        assert code == 0
+        assert "partial" in output and "completed" in output
+        code, output = _run_cli("show", "0", "--server", live_server.url)
+        assert code == 0
+        assert "state:      completed" in output
+        assert "backpressure" in output
+        # Cancelling a finished job reports it and exits 1.
+        code, output = _run_cli("cancel", "0", "--server", live_server.url)
+        assert code == 1
+        assert "already finished" in output
+
+    def test_show_requires_numeric_job_id_with_server(self, live_server):
+        with pytest.raises(SystemExit, match="numeric job id"):
+            main(["show", "partial", "--server", live_server.url],
+                 out=lambda line: None)
+
+    def test_cancel_without_server_is_an_error(self, tmp_path):
+        code, output = _run_cli("--db", _empty_db(tmp_path), "cancel", "0")
+        assert code == 2
+        assert "--server" in output
+
+    def test_remote_error_paths(self, live_server):
+        code, output = _run_cli("show", "99", "--server", live_server.url)
+        assert code == 1
+        assert "unknown job" in output
+        code, output = _run_cli("list", "--server", "http://127.0.0.1:9")
+        assert code == 1
+        assert "cannot reach" in output

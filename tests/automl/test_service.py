@@ -401,3 +401,151 @@ class TestClient:
             best = server.wait(job_id, timeout=10.0)
             assert best.value is not None
             assert server.status(job_id)["num_trials"] == 8
+
+
+class TestPreemptionVictimSelection:
+    """The cost model: shed least-progressed work first, youngest id on ties."""
+
+    @staticmethod
+    def _trial(trial_id, reports):
+        from repro.automl.trial import Trial
+        trial = Trial(trial_id=trial_id, params={"x": 0.5})
+        trial.intermediate_values = [float(i) for i in range(reports)]
+        return trial
+
+    def test_least_progress_killed_first(self):
+        fresh = self._trial(0, reports=0)
+        warm = self._trial(1, reports=2)
+        done_soon = self._trial(2, reports=9)
+        victims = AntTuneServer._select_victims([warm, done_soon, fresh], 2)
+        assert [t.trial_id for t in victims] == [0, 1]
+
+    def test_nearly_done_youngest_is_spared(self):
+        # The *youngest* trial has streamed the most reports (nearly done):
+        # the old id-based policy would have killed it; the cost model spares
+        # it and sheds the idle older trial instead.
+        old_idle = self._trial(3, reports=0)
+        youngest_nearly_done = self._trial(7, reports=40)
+        victims = AntTuneServer._select_victims(
+            [old_idle, youngest_nearly_done], 1)
+        assert [t.trial_id for t in victims] == [3]
+        assert youngest_nearly_done not in victims
+
+    def test_tie_broken_by_youngest_id(self):
+        trials = [self._trial(i, reports=1) for i in range(3)]
+        victims = AntTuneServer._select_victims(trials, 1)
+        assert [t.trial_id for t in victims] == [2]
+
+    def test_excess_larger_than_pool_takes_everything(self):
+        trials = [self._trial(i, reports=i) for i in range(2)]
+        assert len(AntTuneServer._select_victims(trials, 5)) == 2
+
+
+class TestBackpressureObservability:
+    """TelemetryTransport/EventBus drops surface through status()."""
+
+    def test_status_exposes_telemetry_counters(self, space, server):
+        job_id = server.submit(space, lambda t: t.params["x"],
+                               config=StudyConfig(n_trials=2))
+        server.wait(job_id, timeout=10.0)
+        telemetry = server.status(job_id)["telemetry"]
+        assert telemetry == {"transport_dropped": 0,
+                             "event_queue_dropped": 0}
+        summary = server.server_status()
+        assert summary["num_workers"] == 4
+        assert summary["job_states"].get("completed", 0) >= 1
+        assert summary["telemetry"]["transport_dropped"] == 0
+
+    def test_event_queue_drops_are_counted(self, space, server):
+        release = threading.Event()
+
+        def gated(trial):
+            assert release.wait(5.0)
+            for step in range(3):
+                trial.report(float(step))
+            return trial.params["x"]
+
+        job_id = server.submit(space, gated, config=StudyConfig(n_trials=3))
+        # A consumer that never reads: its 1-slot queue must shed events.
+        subscription = server.subscribe(job_id, max_queue=1)
+        release.set()
+        server.wait(job_id, timeout=10.0)
+        try:
+            telemetry = server.status(job_id)["telemetry"]
+            assert telemetry["event_queue_dropped"] > 0
+            assert telemetry["event_queue_dropped"] == subscription.dropped
+            total = server.server_status()["telemetry"]["event_queue_dropped"]
+            assert total >= telemetry["event_queue_dropped"]
+        finally:
+            subscription.close()
+
+
+class TestStorageWriterThread:
+    """Trial rows persist via a background writer, flushed before close."""
+
+    def test_rows_flushed_by_shutdown(self, space, tmp_path):
+        path = str(tmp_path / "writer.db")
+        server = AntTuneServer(num_workers=2, backend="thread", storage=path)
+        job_id = server.submit(space, lambda t: t.params["x"],
+                               config=StudyConfig(n_trials=3),
+                               study_name="writer-study")
+        server.wait(job_id, timeout=10.0)
+        server.shutdown()
+        with StudyStorage(path) as storage:
+            listed = {row["name"]: row for row in storage.list_studies()}
+            assert listed["writer-study"]["status"] == "completed"
+            assert listed["writer-study"]["num_trials"] == 3
+            payload = storage.load_payload("writer-study")
+            assert len(payload["trials"]) == 3
+
+    def test_commits_run_on_the_writer_thread_not_the_publisher(self, space):
+        storage = StudyStorage(":memory:")
+        commit_threads = []
+        original = storage.record_trial
+
+        def spy(name, record):
+            commit_threads.append(threading.current_thread().name)
+            return original(name, record)
+
+        storage.record_trial = spy  # type: ignore[method-assign]
+        server = AntTuneServer(num_workers=2, backend="thread",
+                               storage=storage)
+        try:
+            job_id = server.submit(space, lambda t: t.params["x"],
+                                   config=StudyConfig(n_trials=2),
+                                   study_name="bg-study")
+            server.wait(job_id, timeout=10.0)
+        finally:
+            server.shutdown()
+        assert commit_threads, "no trial rows were recorded off the stream"
+        assert all(name.startswith("anttune-storage")
+                   for name in commit_threads), commit_threads
+
+    def test_cancelled_queued_job_status_persists(self, space, tmp_path):
+        path = str(tmp_path / "cancel.db")
+        release = threading.Event()
+
+        def gated(trial):
+            assert release.wait(5.0)
+            return trial.params["x"]
+
+        # max_concurrent_jobs=1: the second job stays QUEUED until cancel.
+        server = AntTuneServer(num_workers=2, max_concurrent_jobs=1,
+                               backend="thread", storage=path)
+        try:
+            running = server.submit(space, gated,
+                                    config=StudyConfig(n_trials=2),
+                                    study_name="running-study")
+            queued = server.submit(space, gated,
+                                   config=StudyConfig(n_trials=2),
+                                   study_name="queued-study")
+            assert server.cancel(queued) is True
+            release.set()
+            server.wait(running, timeout=10.0)
+        finally:
+            release.set()
+            server.shutdown()
+        with StudyStorage(path) as storage:
+            listed = {row["name"]: row for row in storage.list_studies()}
+            assert listed["queued-study"]["status"] == "cancelled"
+            assert listed["running-study"]["status"] == "completed"
