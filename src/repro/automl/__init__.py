@@ -8,6 +8,7 @@ from repro.automl.algorithms import (
     RandomSearch,
     SearchAlgorithm,
 )
+from repro.automl.eventlog import EventLog
 from repro.automl.events import (
     EventBus,
     JobStateChanged,
@@ -76,6 +77,7 @@ __all__ = [
     "FairShareGovernor",
     "GovernedExecutor",
     "EventBus",
+    "EventLog",
     "Subscription",
     "TrialEvent",
     "TrialStarted",

@@ -14,6 +14,9 @@ view onto that file — and, with ``--server URL``, onto a *live*
 
     # the service itself
     python -m repro.automl.cli --db anttune.db serve --port 8123
+    python -m repro.automl.cli --db anttune.db serve --port 8123 --recover
+    python -m repro.automl.cli --db anttune.db log
+    python -m repro.automl.cli --db anttune.db log 3 --after-seq 17
     python -m repro.automl.cli list --server http://127.0.0.1:8123
     python -m repro.automl.cli show 3 --server http://127.0.0.1:8123
     python -m repro.automl.cli resume my-study --server http://127.0.0.1:8123 \
@@ -29,13 +32,21 @@ confirmation prompt (``--yes`` skips it).  ``gc`` bulk-deletes terminal
 studies older than ``--max-age-days`` (``--dry-run`` previews, ``--states``
 narrows the statuses, ``--yes`` skips the prompt).
 
-``serve`` starts the HTTP front end on this machine's storage file.  With
-``--server URL`` the ``resume``/``list``/``show``/``cancel`` commands talk to
-such a server through the SDK client instead of touching any local file:
-``resume`` *submits* the continuation into the live server (sharing its
-worker pool, fair-share governor and event bus) and streams the job's event
-feed until it finishes — completing the story where the old in-process
-resume ran outside the service.
+``serve`` starts the HTTP front end on this machine's storage file; with
+``--recover`` it first reconciles the durable event log against storage —
+auto-resuming or finalising jobs a previous process left RUNNING — before
+binding the port (the restart drill in ``docs/operations.md``).  ``log``
+inspects that event log directly: without arguments it tables every logged
+job, with a job id it prints the job's events as NDJSON (one
+``event_to_wire`` payload per line, ``--after-seq`` to start mid-stream) —
+the exact bytes the ``/v1/jobs/{id}/events`` stream would serve.
+
+With ``--server URL`` the ``resume``/``list``/``show``/``cancel`` commands
+talk to a live server through the SDK client instead of touching any local
+file: ``resume`` *submits* the continuation into the live server (sharing
+its worker pool, fair-share governor and event bus) and streams the job's
+event feed until it finishes — completing the story where the old
+in-process resume ran outside the service.
 """
 
 from __future__ import annotations
@@ -213,6 +224,62 @@ def _cmd_gc(storage: StudyStorage, args: argparse.Namespace,
     return 0
 
 
+def _cmd_log(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Inspect the durable event log that lives next to the storage file.
+
+    Without a job id: one table row per logged job (segments on disk, last
+    seq, how the stream ended).  With a job id: the job's events as NDJSON —
+    byte-identical to what ``GET /v1/jobs/{id}/events`` would replay, so the
+    output pipes straight into ``jq`` or a file for later comparison.
+    """
+    import json
+
+    from repro.automl.eventlog import EventLog
+    from repro.automl.events import JobStateChanged, event_to_wire
+
+    events_dir = args.db + ".events"
+    try:
+        log = EventLog(events_dir, create=False)
+    except FileNotFoundError:
+        out(f"error: no event log at {events_dir} (has this --db ever "
+            f"served jobs?)")
+        return 1
+    if args.job is None:
+        rows = []
+        for job_id in log.jobs():
+            meta = log.meta(job_id) or {}
+            last = log.last_event(job_id)
+            if isinstance(last, JobStateChanged) and last.terminal:
+                ended = last.state
+            elif last is None:
+                ended = "(empty)"
+            else:
+                ended = "(open)"
+            rows.append([job_id, meta.get("study_name", "-"),
+                         len(log._segments(job_id)), log.last_seq(job_id),
+                         ended])
+        if not rows:
+            out("no jobs logged")
+            return 0
+        _print_table(["job", "study", "segments", "last_seq", "ended"],
+                     rows, out)
+        return 0
+    if not str(args.job).isdigit():
+        out(f"error: job id must be an integer, got {args.job!r}")
+        return 2
+    job_id = int(args.job)
+    if not log.has_job(job_id):
+        out(f"error: job {job_id} is not in the event log")
+        return 1
+    printed = 0
+    for event in log.read(job_id, after_seq=args.after_seq):
+        out(json.dumps(event_to_wire(event), sort_keys=True))
+        printed += 1
+        if args.limit is not None and printed >= args.limit:
+            break
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Server-mode commands (--server URL): talk to a live RemoteTuneServer
 # --------------------------------------------------------------------------- #
@@ -220,11 +287,28 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     """Start the HTTP front end over this storage file (blocks until ^C)."""
     from repro.automl.remote.http_server import RemoteTuneServer
 
+    if args.recover and args.db == ":memory:":
+        out("error: --recover needs a file-backed --db (the durable event "
+            "log lives next to it)")
+        return 2
     remote = RemoteTuneServer(
         host=args.host, port=args.port, token=args.token,
         num_workers=args.workers, max_concurrent_jobs=args.max_jobs,
         backend=args.backend, scheduler=args.scheduler,
-        storage=args.db if args.db != ":memory:" else None)
+        storage=args.db if args.db != ":memory:" else None,
+        recover=args.recover)
+    if remote.recovery is not None:
+        summary = remote.recovery
+        out(f"recovery: resumed={len(summary['resumed'])} "
+            f"finalised={len(summary['finalised'])} "
+            f"reconciled={len(summary['reconciled'])} "
+            f"removed={len(summary['removed'])}")
+        for entry in summary["resumed"]:
+            out(f"  resumed job {entry['job_id']} "
+                f"(study {entry['study_name']!r})")
+        for entry in summary["finalised"]:
+            out(f"  finalised job {entry['job_id']} as {entry['state']} "
+                f"(study {entry['study_name']!r})")
     remote.start()
     out(f"serving AntTune on {remote.url} "
         f"(workers={args.workers}, backend={args.backend}, "
@@ -418,6 +502,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--run-seconds", type=float, default=None,
                        help="serve for this long then exit "
                             "(default: until interrupted; mainly for tests)")
+    serve.add_argument("--recover", action="store_true",
+                       help="before serving, reconcile the durable event log "
+                            "with storage: auto-resume or finalise jobs a "
+                            "previous process left RUNNING")
+
+    log_cmd = sub.add_parser(
+        "log", help="inspect the durable event log next to --db "
+                    "(<db>.events): list logged jobs, or dump one job's "
+                    "events as NDJSON")
+    log_cmd.add_argument("job", nargs="?", default=None,
+                         help="job id to dump; omitted lists every logged job")
+    log_cmd.add_argument("--after-seq", type=int, default=-1,
+                         help="dump only events with seq greater than this "
+                              "(default: the whole log)")
+    log_cmd.add_argument("--limit", type=int, default=None,
+                         help="stop after this many events")
 
     delete = sub.add_parser("delete", help="drop a study and its trial rows")
     delete.add_argument("name", help="study name")
@@ -454,6 +554,9 @@ def main(argv: Optional[Sequence[str]] = None,
     if args.command == "serve":
         # serve creates the storage file if missing (a fresh service).
         return _cmd_serve(args, out)
+    if args.command == "log":
+        # log reads the events directory next to --db, not the db itself.
+        return _cmd_log(args, out)
     if getattr(args, "server", None):
         remote_commands = {"list": _cmd_remote_list, "show": _cmd_remote_show,
                            "resume": _cmd_remote_resume,

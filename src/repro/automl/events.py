@@ -463,6 +463,36 @@ class EventBus:
                 turnstile.cond.notify_all()
         return stamped
 
+    def prime(self, job_id: Optional[int], next_seq: int) -> None:
+        """Continue a job's sequence numbering across a process restart.
+
+        A recovered server replays a job's history from the durable
+        :class:`~repro.automl.eventlog.EventLog`, then publishes *new* events
+        for it — those must be stamped after the last logged seq, or clients
+        resuming with ``last_seq`` would silently drop them as duplicates.
+        ``prime`` sets the next sequence number a fresh (event-less) job
+        stream will stamp.
+
+        Args:
+            job_id: the job stream to prime.
+            next_seq: the first sequence number the next publish will get
+                (one past the last durably logged seq).
+
+        Raises:
+            ValueError: negative ``next_seq``, or the job already has events
+                on this bus (priming must happen before the first publish).
+        """
+        if next_seq < 0:
+            raise ValueError("next_seq must be >= 0")
+        with self._lock:
+            if (self._seq.get(job_id, 0) > 0 or job_id in self._history
+                    or job_id in self._terminal):
+                raise ValueError(
+                    f"job {job_id} already has events on this bus; "
+                    f"prime() must run before the first publish")
+            self._seq[job_id] = next_seq
+            self._turnstiles[job_id] = _DeliveryTurnstile(next_seq)
+
     def subscribe(self, job_id: Optional[int],
                   callback: Optional[Callable[[Event], None]] = None,
                   max_queue: int = 1024) -> Subscription:

@@ -25,6 +25,33 @@ Everything that crosses the network is defined here, shared by the server
 ``PROTOCOL_VERSION`` names the schema generation.  A server rejects requests
 that declare a *newer* protocol than it speaks; requests without a version
 field are treated as current (curl-friendliness beats strictness here).
+
+Error taxonomy
+--------------
+
+Every failure a request can hit maps to exactly one of these classes, and
+each class to one HTTP status range:
+
+* **Schema violations** — malformed body, unknown config keys, bad
+  reference strings, protocol mismatch: :class:`ProtocolError`, answered
+  ``400`` (or the status the error carries: ``413`` oversized body,
+  ``401``-style statuses come from the auth layer, not from here).
+* **Unknown resources** — a job id or study name the server has never seen
+  (including after a restart *without* ``--recover``):
+  :class:`~repro.exceptions.TrialError` whose message starts with
+  ``unknown``, answered ``404``.
+* **Conflicts** — a valid request the current state refuses, e.g. a submit
+  reusing an active study name: any other
+  :class:`~repro.exceptions.TrialError`, answered ``409``.
+* **Server faults** — anything else, answered ``500``; the handler thread
+  survives and the JSON error body carries the exception class and message.
+
+Code references double as the **crash-recovery contract**: because
+submit/resume bodies name code rather than shipping it, the server can
+persist the raw reference strings in its durable event log
+(``refs`` in the parsed kwargs) and re-import them on
+:meth:`~repro.automl.server.AntTuneServer.recover` to auto-resume jobs a
+crash interrupted.
 """
 
 from __future__ import annotations
@@ -40,6 +67,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "load_ref",
+    "instantiate_ref",
     "parse_config",
     "parse_submit",
     "parse_resume",
@@ -106,6 +134,28 @@ def _instantiate(obj: object) -> object:
     return obj
 
 
+def instantiate_ref(spec: object, kind: str = "object") -> object:
+    """Import a ``module:attr`` reference and instantiate it if needed.
+
+    The composition the request parsers (and crash recovery's auto-resume)
+    use: :func:`load_ref` resolves the reference, then a referenced class or
+    zero-argument factory is called to produce the instance, while an
+    already-constructed instance (a module-level ``SPACE``, a configured
+    algorithm object) passes through untouched.
+
+    Args:
+        spec: the ``module:attr`` reference string.
+        kind: what the reference names, for error messages.
+
+    Returns:
+        The imported (and, when applicable, constructed) object.
+
+    Raises:
+        ProtocolError: malformed/unimportable reference.
+    """
+    return _instantiate(load_ref(spec, kind))
+
+
 def parse_config(payload: object) -> Optional[StudyConfig]:
     """Validate a request's ``config`` dict into a :class:`StudyConfig`.
 
@@ -166,6 +216,19 @@ def _common_kwargs(body: Dict[str, object]) -> Dict[str, object]:
     return kwargs
 
 
+def _collect_refs(body: Dict[str, object]) -> Dict[str, str]:
+    """The raw reference strings of a request, for durable persistence.
+
+    The server records these in its event log (``TuneJob.refs``) so
+    :meth:`~repro.automl.server.AntTuneServer.recover` can re-import the
+    job's code and auto-resume it after a crash — the one thing an
+    in-process submit with bare callables cannot offer.
+    """
+    return {key: body[key]
+            for key in ("space", "objective", "algorithm", "pruner")
+            if isinstance(body.get(key), str)}
+
+
 def _require_body(body: object) -> Dict[str, object]:
     if not isinstance(body, dict):
         raise ProtocolError(
@@ -188,7 +251,9 @@ def parse_submit(body: object) -> Dict[str, object]:
     Returns:
         Keyword arguments ready for
         :meth:`repro.automl.server.AntTuneServer.submit` (including the
-        imported ``space`` and ``objective`` under those keys).
+        imported ``space`` and ``objective`` under those keys, and the raw
+        reference strings under ``refs`` for durable crash-recovery
+        metadata).
 
     Raises:
         ProtocolError: any schema violation, with the HTTP status to answer.
@@ -213,6 +278,7 @@ def parse_submit(body: object) -> Dict[str, object]:
         if not isinstance(study_name, str) or not study_name:
             raise ProtocolError("study_name must be a non-empty string")
         kwargs["study_name"] = study_name
+    kwargs["refs"] = _collect_refs(body)
     return kwargs
 
 
@@ -239,6 +305,7 @@ def parse_resume(body: object) -> Dict[str, object]:
     kwargs["objective"] = load_ref(body["objective"], "objective")
     if not callable(kwargs["objective"]):
         raise ProtocolError("objective reference must name a callable")
+    kwargs["refs"] = _collect_refs(body)
     return kwargs
 
 

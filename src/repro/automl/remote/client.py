@@ -14,10 +14,34 @@ wire-imposed differences:
   drops mid-stream — the caller sees one gapless, duplicate-free feed ending
   with the job's terminal ``JobStateChanged``.
 
-Errors mirror the in-process API too: unknown jobs, cancelled/failed waits
-and server conflicts raise :class:`~repro.exceptions.TrialError`; schema
-violations the server rejects with 400 raise :class:`ValueError`.  Only the
-Python stdlib (``urllib``) is used.
+Retry semantics
+---------------
+
+The client distinguishes two failure classes and treats them differently:
+
+* **Connection-level failures** (refused, DNS, socket timeout, reset
+  mid-stream) raise the internal ``_ServerUnreachable`` — these are
+  *retryable*: the server may be restarting, the network blipping.
+  ``subscribe`` reconnects with the highest ``seq`` it already yielded and
+  backs off linearly (``0.2s * attempts``, capped at 2s).  Attempts that
+  deliver **no new event** count against ``max_stream_retries``; any
+  progress resets the counter, so a long-lived stream survives any number
+  of blips while a genuinely dead server fails fast.
+* **HTTP error responses** (unknown job 404, bad auth 401, conflict 409,
+  schema rejection 400) are *permanent*: reconnecting cannot change the
+  answer, so they raise immediately —
+  :class:`~repro.exceptions.TrialError` (or :class:`ValueError` for 400)
+  with the server's message.
+
+Because the server journals every event durably and recovers on restart
+(``serve --recover``), a ``subscribe`` that spans a server **crash** keeps
+working: the reconnect lands on the restarted process, the ``last_seq``
+backfill is served from the on-disk event log, and the stream continues —
+the restart shows up as at most a pause, never a gap.  Pass a larger
+``max_stream_retries`` (or rely on progress resets) when restarts are
+expected to take longer than the default retry budget.
+
+Only the Python stdlib (``urllib``) is used.
 """
 
 from __future__ import annotations
@@ -257,12 +281,13 @@ class AntTuneClient:
         """Follow one job's ordered event stream as reconstructed typed events.
 
         Yields :mod:`repro.automl.events` instances in per-job ``seq`` order,
-        starting after ``last_seq`` (with the server replaying its bounded
-        history first) and ending with the terminal
+        starting after ``last_seq`` (backfilled from the server's durable
+        event log, then its live stream) and ending with the terminal
         :class:`~repro.automl.events.JobStateChanged`.  A dropped connection
         reconnects transparently, resuming from the highest ``seq`` already
-        yielded — no duplicates, no missed events within the server's replay
-        history.
+        yielded — no duplicates, no gaps, even when the *server process
+        itself* was killed and restarted in between (the replay then comes
+        off disk; see the module docs for the retry budget).
 
         Args:
             job_id: the job to follow.

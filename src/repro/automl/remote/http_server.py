@@ -22,11 +22,20 @@
 The event stream is the server-side half of ``subscribe()``: each line is one
 :func:`~repro.automl.events.event_to_wire` payload carrying the job's
 monotonic ``seq``.  A client that lost its connection reconnects with
-``last_seq=<highest seq it saw>`` and the bounded bus history replays the
-gap — same drop-oldest semantics as in-process subscriptions, with the
-per-connection queue bound settable via ``?max_queue=``.  Blank heartbeat
-lines are emitted while the stream idles so dead connections are noticed and
-their handler threads released.
+``last_seq=<highest seq it saw>``; the gap backfills from the **durable
+event log** first (so replay works even when the in-memory bus ring rotated
+or the whole process restarted — see :mod:`repro.automl.eventlog`), then the
+live subscription takes over, de-duplicated by seq.  Live delivery keeps the
+bus's drop-oldest semantics, with the per-connection queue bound settable
+via ``?max_queue=``.  Blank heartbeat lines are emitted while the stream
+idles so dead connections are noticed and their handler threads released.
+
+Constructed with ``recover=True`` (the CLI's ``serve --recover``), the
+wrapper runs :meth:`AntTuneServer.recover
+<repro.automl.server.AntTuneServer.recover>` **before** binding the port, so
+interrupted jobs are auto-resumed or finalised before the first client
+request can observe the restarted server — reconnecting SDKs never race the
+reconciliation.
 
 Failure handling: schema violations answer 4xx JSON error bodies
 (:class:`~repro.automl.remote.api.ProtocolError` carries the status), unknown
@@ -292,8 +301,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_events(self, segment: str, params: Dict[str, str]) -> None:
         """Stream one job's ordered event feed as NDJSON until terminal.
 
-        ``last_seq`` skips everything the client already saw (replay comes
-        from the bus's bounded history); ``max_queue`` bounds this
+        ``last_seq`` skips everything the client already saw.  The gap
+        backfills from the durable event log first — transparently serving
+        pre-restart history when the in-memory bus ring rotated or the
+        process is new — then the live subscription takes over; both sides
+        overlap rather than gap (subscription opened before the disk read),
+        and ``sent`` de-duplicates by seq.  ``max_queue`` bounds this
         connection's live queue with the bus's drop-oldest semantics, so a
         slow consumer lags (and sees a seq gap it can re-request) instead of
         back-pressuring the publishers.
@@ -303,8 +316,8 @@ class _Handler(BaseHTTPRequestHandler):
         max_queue = self._int_param(params, "max_queue", 1024)
         if max_queue < 1:
             raise ProtocolError("max_queue must be >= 1")
-        subscription = self.remote.tune_server.subscribe(job_id,
-                                                         max_queue=max_queue)
+        backfill, subscription = self.remote.tune_server.open_event_stream(
+            job_id, last_seq=last_seq, max_queue=max_queue)
         try:
             # A client that stops *reading* must not pin this thread: once
             # the TCP window fills, writes block — bound them so the wedged
@@ -316,6 +329,20 @@ class _Handler(BaseHTTPRequestHandler):
             # Close-delimited stream: its length is unknowable up front.
             self.send_header("Connection", "close")
             self.end_headers()
+            sent = last_seq  # highest seq written; the de-dup watermark
+            for event in backfill:
+                if event.seq <= sent:
+                    continue
+                self.wfile.write(_json_bytes(event_to_wire(event)))
+                self.wfile.flush()
+                sent = event.seq
+                if isinstance(event, JobStateChanged) and event.terminal:
+                    return  # the log already holds the stream's end
+            if subscription is None:
+                # Log-only job (finished before a restart): the backfill was
+                # the whole story — and it ended terminal above, or the log
+                # was compacted down to a tail the client already has.
+                return
             while True:
                 try:
                     event = subscription.get(timeout=HEARTBEAT_SECONDS)
@@ -327,9 +354,10 @@ class _Handler(BaseHTTPRequestHandler):
                     continue
                 if event is None:
                     return  # terminal event already delivered
-                if event.seq > last_seq:
+                if event.seq > sent:
                     self.wfile.write(_json_bytes(event_to_wire(event)))
                     self.wfile.flush()
+                    sent = event.seq
                 if isinstance(event, JobStateChanged) and event.terminal:
                     return
         except OSError:
@@ -337,7 +365,8 @@ class _Handler(BaseHTTPRequestHandler):
             # timeout): drop the stream; it can resume with last_seq.
             return
         finally:
-            subscription.close()
+            if subscription is not None:
+                subscription.close()
             self.close_connection = True
 
 
@@ -354,6 +383,11 @@ class RemoteTuneServer:
             ``Authorization: Bearer <token>`` (else 401).  Override
             :meth:`check_auth` for custom schemes.
         log: optional callable receiving one line per handled request.
+        recover: run :meth:`AntTuneServer.recover
+            <repro.automl.server.AntTuneServer.recover>` before binding the
+            port — interrupted jobs are auto-resumed or finalised before any
+            client can connect; the summary lands in :attr:`recovery`.
+            Requires file-backed storage.
         **server_kwargs: forwarded to :class:`AntTuneServer` when
             ``tune_server`` is omitted (``num_workers=``, ``storage=``, ...).
 
@@ -368,12 +402,25 @@ class RemoteTuneServer:
                  host: str = "127.0.0.1", port: int = 0,
                  token: Optional[str] = None,
                  log: Optional[object] = None,
+                 recover: bool = False,
                  **server_kwargs: object) -> None:
         self._owns_tune_server = tune_server is None
         self.tune_server = (tune_server if tune_server is not None
                             else AntTuneServer(**server_kwargs))  # type: ignore[arg-type]
         self.token = token
         self._log = log
+        #: recover()'s summary when constructed with ``recover=True``.
+        self.recovery: Optional[Dict[str, object]] = None
+        if recover:
+            # Reconcile *before* the socket exists: a reconnecting client is
+            # held in the kernel backlog (or connection-refused and retried
+            # by the SDK) rather than observing half-recovered state.
+            try:
+                self.recovery = self.tune_server.recover()
+            except Exception:
+                if self._owns_tune_server:
+                    self.tune_server.shutdown()
+                raise
         handler = type("BoundHandler", (_Handler,), {"remote": self})
         try:
             self._httpd = ThreadingHTTPServer((host, port), handler)

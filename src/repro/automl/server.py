@@ -119,6 +119,10 @@ class TuneJob:
             killing (and requeueing) co-tenants' youngest excess trials.
         study_name: the name the job persists under (auto-generated default).
         checkpoint_path: optional JSON checkpoint target.
+        refs: ``module:attr`` code references (``space``/``objective``,
+            optionally ``algorithm``/``pruner``) recorded in the event log so
+            a restarted server can re-import the code and auto-resume the
+            job; None for jobs submitted with bare callables.
         state: current :class:`JobState`.
         error: failure description once ``FAILED``.
     """
@@ -131,6 +135,7 @@ class TuneJob:
     preempt: bool = False
     study_name: Optional[str] = None
     checkpoint_path: Optional[str] = None
+    refs: Optional[Dict[str, str]] = None
     state: JobState = JobState.QUEUED
     error: Optional[str] = None
     cancel_requested: bool = False
@@ -190,6 +195,12 @@ class AntTuneServer:
         self._jobs: Dict[int, TuneJob] = {}
         self._jobs_lock = threading.Lock()
         self._next_job_id = itertools.count()
+        # Terminal snapshots of jobs that predate this process, reconstructed
+        # by recover() from the event log + storage.  They have no TuneJob
+        # (no live study/objective) but status()/jobs()/wait()/subscribe()
+        # answer for them, so a client that outlived the crash is not met
+        # with 404s for ids it legitimately holds.
+        self._recovered: Dict[int, Dict[str, object]] = {}
         self._governor = FairShareGovernor(num_workers)
         # One ordered event stream per job: every layer publishes onto this
         # bus and subscribe()/storage persistence read from it.
@@ -208,6 +219,17 @@ class AntTuneServer:
         # Guards lazy construction of the shared pools: submit() can race from
         # client threads, and the executor property from dispatcher threads.
         self._init_lock = threading.Lock()
+
+    @property
+    def event_log(self):
+        """The storage's durable event log (None without file-backed storage).
+
+        Every job's bus stream is mirrored into it synchronously at publish
+        time, so a restarted server can replay pre-crash history
+        (:meth:`open_event_stream`) and reconcile interrupted jobs
+        (:meth:`recover`).
+        """
+        return None if self.storage is None else self.storage.event_log
 
     # ------------------------------------------------------------------ #
     # Shared resources (lazy)
@@ -250,7 +272,8 @@ class AntTuneServer:
                rng: Optional[np.random.Generator] = None,
                study_name: Optional[str] = None,
                checkpoint_path: Optional[str] = None,
-               priority: float = 1.0, preempt: bool = False) -> int:
+               priority: float = 1.0, preempt: bool = False,
+               refs: Optional[Dict[str, str]] = None) -> int:
         """Enqueue a new tuning job and return its id immediately.
 
         The job starts as soon as a dispatcher slot frees up; use
@@ -277,6 +300,12 @@ class AntTuneServer:
                 beyond the new fair share (kill reason ``preempted``).
                 Preempted trials are requeued by their own scheduler and
                 charged neither a budget slot nor a retry.
+            refs: optional ``module:attr`` reference strings for the job's
+                code (``space``/``objective``, optionally
+                ``algorithm``/``pruner``).  Recorded in the durable event
+                log so :meth:`recover` can auto-resume the job after a
+                server crash; the remote layer fills this in from the
+                request body automatically.
 
         Returns:
             The new job's id.
@@ -293,12 +322,13 @@ class AntTuneServer:
                       rng=new_rng(rng if rng is not None else _job_seed(job_id)))
         return self._enqueue(job_id, study, objective, study_name,
                              checkpoint_path, priority=priority,
-                             preempt=preempt)
+                             preempt=preempt, refs=refs)
 
     def resume(self, study_name: str, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
                pruner: Optional[Pruner] = None,
-               priority: float = 1.0, preempt: bool = False) -> int:
+               priority: float = 1.0, preempt: bool = False,
+               refs: Optional[Dict[str, str]] = None) -> int:
         """Reload a persisted study from storage and enqueue its remainder.
 
         The study resumes with only the trial budget it had left when last
@@ -317,6 +347,8 @@ class AntTuneServer:
             priority: fair-share weight for the resumed job.
             preempt: claim the fair share immediately on start (see
                 :meth:`submit`).
+            refs: optional ``module:attr`` code references recorded for
+                crash auto-resume (see :meth:`submit`).
 
         Returns:
             The new job's id.
@@ -332,12 +364,13 @@ class AntTuneServer:
         job_id = next(self._next_job_id)
         return self._enqueue(job_id, study, objective, study_name, None,
                              priority=priority, preempt=preempt,
-                             allow_stored=True)
+                             allow_stored=True, refs=refs)
 
     def _enqueue(self, job_id: int, study: Study, objective: Objective,
                  study_name: Optional[str], checkpoint_path: Optional[str],
                  priority: float = 1.0, preempt: bool = False,
-                 allow_stored: bool = False) -> int:
+                 allow_stored: bool = False,
+                 refs: Optional[Dict[str, str]] = None) -> int:
         if priority <= 0:
             raise ValueError("priority must be > 0")
         workers = [f"worker-{i}" for i in range(self.num_workers)]
@@ -345,7 +378,7 @@ class AntTuneServer:
                       workers=workers, priority=float(priority),
                       preempt=preempt,
                       study_name=study_name or f"job-{job_id}-{self._instance_id}",
-                      checkpoint_path=checkpoint_path)
+                      checkpoint_path=checkpoint_path, refs=refs)
         if (self.storage is not None and study_name is not None
                 and not allow_stored and self.storage.study_exists(study_name)):
             # A plain submit must not upsert over a persisted study's history;
@@ -367,6 +400,17 @@ class AntTuneServer:
         # Every lifecycle event the study (and its scheduler) publishes is
         # stamped with this job's id and fanned out on the server's bus.
         study._event_sink = self._event_sink_for(job_id)
+        log = self.event_log
+        if log is not None:
+            # Durable mirror of the stream: meta first (so recovery can map
+            # the job back to its study and code refs), then a synchronous
+            # callback subscription — every event is on disk before any
+            # queue consumer sees it, so a killed process loses nothing it
+            # delivered.  Registered before the QUEUED publish below: the
+            # log observes the stream from its very first event.
+            log.open_job(job_id, job.study_name, refs=job.refs,
+                         priority=job.priority, preempt=job.preempt)
+            self._bus.subscribe(job_id, callback=log.append)
         if self.storage is not None:
             # Trial history persists off the event stream: terminal trials
             # land as rows shortly after their TrialFinished event publishes,
@@ -492,9 +536,257 @@ class AntTuneServer:
         Raises:
             TrialError: unknown job id.
         """
-        self._get(job_id)
+        with self._jobs_lock:
+            known = job_id in self._jobs
+        if not known and job_id not in self._recovered:
+            raise TrialError(f"unknown job id {job_id}")
         return self._bus.subscribe(job_id, callback=callback,
                                    max_queue=max_queue)
+
+    def open_event_stream(self, job_id: int, last_seq: int = -1,
+                          max_queue: int = 1024):
+        """A job's full event history: durable backfill plus live stream.
+
+        This is what the remote ``GET /v1/jobs/{id}/events?last_seq=`` serves
+        from.  Unlike :meth:`subscribe` — whose replay is bounded by the bus's
+        in-memory history and empty in a freshly restarted process — the
+        backfill comes from the durable event log, so a client resuming with
+        ``last_seq`` sees a seamless stream across bus-ring rotation *and*
+        server restarts.
+
+        The subscription is opened *before* the disk read starts, which is
+        what makes the merge gapless: the subscription observes everything
+        published after it attached (plus the bus's bounded replay), and the
+        log — written synchronously at publish time — holds everything before
+        it.  The two overlap rather than gap; consumers de-duplicate by
+        skipping events whose ``seq`` they have already emitted.
+
+        Args:
+            job_id: the job to stream.
+            last_seq: highest seq the caller already has; the backfill starts
+                after it.
+            max_queue: live-subscription queue bound (drop-oldest).
+
+        Returns:
+            ``(backfill, subscription)`` — an iterator over logged events
+            with ``seq > last_seq``, and a live
+            :class:`~repro.automl.events.Subscription`, or None in its place
+            when the job is known only to the log (a pre-restart job this
+            process finished reconciling, or one recovered read-only):
+            the backfill then already ends with the terminal event.
+
+        Raises:
+            TrialError: the job is unknown to both the server and the log.
+        """
+        with self._jobs_lock:
+            known = job_id in self._jobs
+        known = known or job_id in self._recovered
+        log = self.event_log
+        logged = log is not None and log.has_job(job_id)
+        if not known and not logged:
+            raise TrialError(f"unknown job id {job_id}")
+        subscription = (self._bus.subscribe(job_id, max_queue=max_queue)
+                        if known else None)
+        backfill = (log.read(job_id, after_seq=last_seq) if logged
+                    else iter(()))
+        return backfill, subscription
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> Dict[str, List[Dict[str, object]]]:
+        """Reconcile the durable event log with storage after a restart.
+
+        For every job the log knows, compare its last logged event with the
+        stored study status and take exactly one action:
+
+        * **terminal logged** — the job ended before the crash; if storage
+          still says ``queued``/``running`` (the status write lost the race
+          with the kill), write the logged terminal status back
+          (*reconciled*).  The terminal event re-registers on the bus at its
+          original seq so late subscribers observe termination.
+        * **non-terminal logged, storage terminal** — storage saw the end but
+          the log's writer didn't; synthesize the matching terminal
+          :class:`~repro.automl.events.JobStateChanged` (*finalised*).
+        * **non-terminal logged, storage queued/running** — the process died
+          mid-job.  When the log's metadata carries ``module:attr`` code
+          refs, re-import them and re-enqueue the study's remainder under
+          the job's **original id**, with its bus sequence primed past the
+          last logged seq (*resumed*) — a client replaying from its last
+          seen seq streams straight across the crash.  Without refs (or if
+          the re-import fails) the job is finalised ``FAILED`` with an
+          explanatory error.
+        * **study missing from storage** — the rows were deleted behind the
+          log; the orphan job log is dropped (*removed*).
+
+        Job-id allocation continues after the highest recovered id, so new
+        submits never collide with pre-crash ids.  Run this before serving
+        traffic (``RemoteTuneServer(recover=True)`` / ``serve --recover``
+        do); it must not race live publishes.
+
+        Returns:
+            A summary dict with ``resumed``, ``finalised``, ``reconciled``
+            and ``removed`` lists of ``{"job_id", "study_name", ...}`` dicts.
+
+        Raises:
+            TrialError: the server has no file-backed storage (nothing to
+                recover from).
+        """
+        log = self.event_log
+        if log is None:
+            raise TrialError("recover() needs file-backed storage with an "
+                             "event log; pass storage= to AntTuneServer")
+        summary: Dict[str, List[Dict[str, object]]] = {
+            "resumed": [], "finalised": [], "reconciled": [], "removed": []}
+        max_id = -1
+        for job_id in log.jobs():
+            max_id = max(max_id, job_id)
+            meta = log.meta(job_id) or {}
+            name = meta.get("study_name")
+            if not isinstance(name, str) or not self.storage.study_exists(name):
+                # The study's rows were deleted behind the log (or the meta
+                # never landed): an event history annotating nothing.
+                log.remove_job(job_id)
+                summary["removed"].append(
+                    {"job_id": job_id, "study_name": name})
+                continue
+            last = log.last_event(job_id)
+            last_seq = -1 if last is None else last.seq
+            stored = self.storage.study_status(name)
+            if isinstance(last, JobStateChanged) and last.terminal:
+                if stored in (JobState.QUEUED.value, JobState.RUNNING.value):
+                    try:
+                        self.storage.set_status(name, last.state)
+                    except TrialError:  # pragma: no cover - raced delete
+                        pass
+                    summary["reconciled"].append(
+                        {"job_id": job_id, "study_name": name,
+                         "state": last.state})
+                self._register_recovered_terminal(job_id, name, last, meta)
+                continue
+            if stored in (JobState.COMPLETED.value, JobState.FAILED.value,
+                          JobState.CANCELLED.value):
+                # Storage outran the log's writer at the crash: trust it.
+                self._finalise_recovered(job_id, name, stored, None,
+                                         last_seq + 1, meta)
+                summary["finalised"].append(
+                    {"job_id": job_id, "study_name": name, "state": stored})
+                continue
+            # The process died mid-job.  Auto-resume needs the code back.
+            refs = meta.get("refs") if isinstance(meta.get("refs"), dict) \
+                else {}
+            error = None
+            if "space" in refs and "objective" in refs:
+                try:
+                    self._resume_recovered(job_id, name, refs, meta, last_seq)
+                    summary["resumed"].append(
+                        {"job_id": job_id, "study_name": name})
+                    continue
+                except Exception as exc:  # noqa: BLE001 - an unimportable
+                    # ref must fail this one job, not the whole recovery.
+                    error = (f"auto-resume after server restart failed: "
+                             f"{type(exc).__name__}: {exc}")
+            else:
+                error = ("interrupted by a server restart and not "
+                         "auto-resumable: no space/objective code refs were "
+                         "recorded at submit (resume() it manually)")
+            self._finalise_recovered(job_id, name, JobState.FAILED.value,
+                                     error, last_seq + 1, meta)
+            summary["finalised"].append(
+                {"job_id": job_id, "study_name": name,
+                 "state": JobState.FAILED.value, "error": error})
+        if max_id >= 0:
+            self._next_job_id = itertools.count(max_id + 1)
+        return summary
+
+    def _resume_recovered(self, job_id: int, name: str,
+                          refs: Dict[str, object], meta: Dict[str, object],
+                          last_seq: int) -> None:
+        """Re-enqueue an interrupted job from its logged code refs.
+
+        The job keeps its **original id** and its bus stream is primed to
+        continue one past the last durably logged seq, so the post-restart
+        events extend the pre-restart history with no seq reuse — the
+        contract ``?last_seq=`` replay depends on.
+        """
+        from repro.automl.remote.api import instantiate_ref, load_ref
+        space = load_ref(refs["space"], "space")
+        objective = load_ref(refs["objective"], "objective")
+        if not callable(objective):
+            raise TrialError(
+                f"objective ref {refs['objective']!r} is not callable")
+        algorithm = (instantiate_ref(refs["algorithm"], "algorithm")
+                     if refs.get("algorithm") else None)
+        pruner = (instantiate_ref(refs["pruner"], "pruner")
+                  if refs.get("pruner") else None)
+        study = self.storage.load_study(name, space, algorithm=algorithm,
+                                        pruner=pruner)
+        self._bus.prime(job_id, last_seq + 1)
+        string_refs = {key: str(value) for key, value in refs.items()}
+        self._enqueue(job_id, study, objective, name, None,
+                      priority=float(meta.get("priority", 1.0)),
+                      preempt=bool(meta.get("preempt", False)),
+                      allow_stored=True, refs=string_refs)
+
+    def _finalise_recovered(self, job_id: int, name: str, state: str,
+                            error: Optional[str], next_seq: int,
+                            meta: Dict[str, object]) -> None:
+        """End an unresumable job's stream with a synthesized terminal event.
+
+        The event publishes through the bus (primed to continue the logged
+        sequence) with the log's callback attached, so it is both durably
+        appended and replayable from the bus — a reconnecting client sees the
+        stream end instead of hanging on a job no process is running.
+        """
+        self._bus.prime(job_id, next_seq)
+        self._bus.subscribe(job_id, callback=self.event_log.append)
+        self._bus.publish(JobStateChanged(state=state, error=error,
+                                          terminal=True, job_id=job_id))
+        try:
+            self.storage.set_status(name, state)
+        except TrialError:  # pragma: no cover - raced delete
+            pass
+        self._recovered[job_id] = self._recovered_snapshot(
+            job_id, name, state, error, meta, action="finalised")
+
+    def _register_recovered_terminal(self, job_id: int, name: str,
+                                     last: JobStateChanged,
+                                     meta: Dict[str, object]) -> None:
+        """Re-register an already-terminal logged job on the fresh bus.
+
+        The logged terminal event is re-published at its **original seq**
+        (bus primed to stamp exactly it) with no log subscription attached —
+        the bus learns the stream ended without duplicating the log's last
+        line, and in-process ``subscribe()`` on the old id replays the
+        terminal immediately instead of hanging.
+        """
+        self._bus.prime(job_id, last.seq)
+        self._bus.publish(JobStateChanged(state=last.state, error=last.error,
+                                          terminal=True, job_id=job_id))
+        self._recovered[job_id] = self._recovered_snapshot(
+            job_id, name, last.state, last.error, meta, action="terminal")
+
+    def _recovered_snapshot(self, job_id: int, name: str, state: str,
+                            error: Optional[str], meta: Dict[str, object],
+                            action: str) -> Dict[str, object]:
+        """A status()-shaped terminal snapshot built from storage rows."""
+        summary = self.storage.study_summary(name) or {}
+        states = self.storage.trial_state_counts(name)
+        return {
+            "job_id": job_id,
+            "state": state,
+            "finished": True,
+            "error": error,
+            "num_trials": sum(states.values()),
+            "states": states,
+            "best_value": summary.get("best_value"),
+            "priority": float(meta.get("priority", 1.0)),
+            "preempt": bool(meta.get("preempt", False)),
+            "workers": [],
+            "study_name": name,
+            "recovered": action,
+            "telemetry": {"transport_dropped": 0, "event_queue_dropped": 0},
+        }
 
     def _run_job(self, job: TuneJob) -> None:
         """Dispatcher-side job body: run the study, never kill the dispatcher."""
@@ -650,6 +942,8 @@ class AntTuneServer:
         Raises:
             TrialError: unknown job id.
         """
+        if job_id in self._recovered:
+            return False  # terminal before this process started
         job = self._get(job_id)
         with job._state_lock:
             if job.finished:
@@ -694,6 +988,8 @@ class AntTuneServer:
             TrialError: the job failed, was cancelled, timed out, or finished
                 without any successful trial.
         """
+        if job_id in self._recovered:
+            return self._wait_recovered(job_id)
         job = self._get(job_id)
         if not job._done.wait(timeout):
             raise TrialError(f"job {job_id} still running after {timeout}s")
@@ -710,6 +1006,27 @@ class AntTuneServer:
             raise TrialError(
                 f"job {job_id} completed without any successful trial "
                 f"(raise_on_all_failed=False)") from exc
+
+    def _wait_recovered(self, job_id: int) -> Trial:
+        """wait() for a pre-restart job: answer from its stored trial rows."""
+        snapshot = self._recovered[job_id]
+        state, name = snapshot["state"], snapshot["study_name"]
+        if state == JobState.CANCELLED.value:
+            raise TrialError(f"job {job_id} was cancelled")
+        if state == JobState.FAILED.value:
+            raise TrialError(f"job {job_id}: {snapshot['error']}")
+        summary = self.storage.study_summary(name) or {}
+        records = [record for record
+                   in self.storage.load_payload(name)["trials"]
+                   if record.get("state") == TrialState.COMPLETED.value
+                   and record.get("value") is not None]
+        if not records:
+            raise TrialError(
+                f"job {job_id} completed without any successful trial")
+        best = (max if summary.get("maximize", True) else min)(
+            records, key=lambda record: record["value"])
+        from repro.automl.remote.api import trial_from_record
+        return trial_from_record(best)
 
     def run(self, job_id: int, checkpoint_path: Optional[str] = None) -> Trial:
         """Blocking convenience kept from the synchronous server: wait for a job.
@@ -760,6 +1077,11 @@ class AntTuneServer:
         Raises:
             TrialError: unknown job id.
         """
+        snapshot = self._recovered.get(job_id)
+        if snapshot is not None:
+            # A pre-restart job: its snapshot (built from storage rows at
+            # recovery time) answers, with "recovered" marking how it ended.
+            return dict(snapshot)
         job = self._get(job_id)
         study = job.study
         with study._lock:
@@ -800,10 +1122,16 @@ class AntTuneServer:
         return 0 if executor is None else executor.telemetry_dropped
 
     def jobs(self) -> List[Dict[str, object]]:
-        """Status snapshots of every job on this server, oldest first."""
+        """Status snapshots of every job on this server, oldest first.
+
+        Includes terminal snapshots of pre-restart jobs registered by
+        :meth:`recover`, so a reconnecting client's job listing is complete
+        across a crash.
+        """
         with self._jobs_lock:
-            job_ids = sorted(self._jobs)
-        return [self.status(job_id) for job_id in job_ids]
+            job_ids = set(self._jobs)
+        job_ids.update(self._recovered)
+        return [self.status(job_id) for job_id in sorted(job_ids)]
 
     def server_status(self) -> Dict[str, object]:
         """A server-wide snapshot: configuration, job counts, backpressure.
@@ -820,13 +1148,18 @@ class AntTuneServer:
         job_states: Dict[str, int] = {}
         for job in jobs:
             job_states[job.state.value] = job_states.get(job.state.value, 0) + 1
+        for snapshot in self._recovered.values():
+            state = snapshot["state"]
+            job_states[state] = job_states.get(state, 0) + 1
+        log = self.event_log
         return {
             "num_workers": self.num_workers,
             "max_concurrent_jobs": self.max_concurrent_jobs,
             "backend": self.backend,
-            "num_jobs": len(jobs),
+            "num_jobs": len(jobs) + len(self._recovered),
             "job_states": job_states,
             "storage": None if self.storage is None else self.storage.path,
+            "event_log": None if log is None else log.stats(),
             "telemetry": {
                 "transport_dropped": self._transport_dropped(),
                 "event_queue_dropped": self._bus.dropped_total(),
@@ -874,6 +1207,11 @@ class AntTuneServer:
             writers, self._writers = self._writers, []
         for thread in writers:
             thread.join(timeout=10.0 if wait else 0.25)
+        log = self.event_log
+        if log is not None:
+            # Everything published above is already flushed per append; this
+            # settles the stronger fsync durability before the process exits.
+            log.flush()
 
     def __enter__(self) -> "AntTuneServer":
         return self

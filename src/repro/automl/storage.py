@@ -65,10 +65,23 @@ CREATE TABLE IF NOT EXISTS trials (
 
 
 class StudyStorage:
-    """Persist studies/trials in a SQLite database (one file = one service)."""
+    """Persist studies/trials in a SQLite database (one file = one service).
 
-    def __init__(self, path: str = ":memory:") -> None:
+    File-backed storage also owns the durable per-job
+    :class:`~repro.automl.eventlog.EventLog` (default location: a sibling
+    ``<path>.events`` directory), so "one file = one service" extends to the
+    event history a restarted server needs for replay and crash recovery.
+    The log is created lazily on first use of :attr:`event_log`; in-memory
+    storage has no event log unless ``events_dir`` is given explicitly.
+    """
+
+    def __init__(self, path: str = ":memory:",
+                 events_dir: Optional[str] = None) -> None:
         self.path = str(path)
+        if events_dir is None and self.path != ":memory:":
+            events_dir = self.path + ".events"
+        self.events_dir = events_dir
+        self._event_log = None
         # One shared connection guarded by a lock: the server checkpoints
         # studies from its dispatcher threads, not just the creating thread.
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
@@ -86,6 +99,35 @@ class StudyStorage:
         with self._lock:
             self._conn.executescript(_SCHEMA)
             self._conn.commit()
+
+    # ------------------------------------------------------------------ #
+    # Event log
+    # ------------------------------------------------------------------ #
+    @property
+    def event_log(self):
+        """The storage's durable :class:`~repro.automl.eventlog.EventLog`.
+
+        Created (directory and all) on first access; None when the storage
+        has no events directory (in-memory storage without an explicit
+        ``events_dir``).
+        """
+        if self._event_log is None and self.events_dir is not None:
+            from repro.automl.eventlog import EventLog
+            self._event_log = EventLog(self.events_dir)
+        return self._event_log
+
+    def _existing_event_log(self):
+        """The event log only if its directory already exists (no create).
+
+        ``delete_study``/``gc`` use this: cleaning up rows must not
+        materialise an empty events directory as a side effect.
+        """
+        import os
+        if self._event_log is not None:
+            return self._event_log
+        if self.events_dir is not None and os.path.isdir(self.events_dir):
+            return self.event_log
+        return None
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -192,7 +234,7 @@ class StudyStorage:
             raise TrialError(f"unknown study {name!r}")
 
     def delete_study(self, name: str) -> None:
-        """Delete a study and all of its trial rows (one transaction).
+        """Delete a study, its trial rows and its event-log history.
 
         Args:
             name: the stored study.
@@ -208,6 +250,9 @@ class StudyStorage:
             self._persisted.pop(name, None)
         if not deleted:
             raise TrialError(f"unknown study {name!r}")
+        log = self._existing_event_log()
+        if log is not None:
+            log.remove_study(name)
 
     # Terminal job statuses eligible for garbage collection by default: a
     # queued/running study belongs to a (possibly live) server and is never
@@ -275,6 +320,10 @@ class StudyStorage:
             self._conn.commit()
             for name in names:
                 self._persisted.pop(name, None)
+        log = self._existing_event_log()
+        if log is not None:
+            for name in names:
+                log.remove_study(name)
         return names
 
     # ------------------------------------------------------------------ #
@@ -306,6 +355,32 @@ class StudyStorage:
             row = self._conn.execute(
                 "SELECT 1 FROM studies WHERE name = ?", (name,)).fetchone()
         return row is not None
+
+    def study_status(self, name: str) -> Optional[str]:
+        """The stored lifecycle status of ``name``, or None when unknown.
+
+        Crash recovery's first question per logged job: does the row still
+        exist, and did the last status write land before the crash?
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT status FROM studies WHERE name = ?", (name,)).fetchone()
+        return None if row is None else row["status"]
+
+    def study_summary(self, name: str) -> Optional[Dict[str, object]]:
+        """One :meth:`list_studies`-style summary row, or None when unknown."""
+        for row in self.list_studies():
+            if row["name"] == name:
+                return row
+        return None
+
+    def trial_state_counts(self, name: str) -> Dict[str, int]:
+        """Stored trial rows of ``name`` grouped by state (empty if none)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM trials "
+                "WHERE study_name = ? GROUP BY state", (name,)).fetchall()
+        return {row["state"]: row["n"] for row in rows}
 
     def load_payload(self, name: str) -> Dict[str, object]:
         """The raw checkpoint payload of a stored study (trials re-attached)."""
@@ -341,7 +416,9 @@ class StudyStorage:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Close the underlying SQLite connection (the storage is done with)."""
+        """Close the SQLite connection and the event log, if one was opened."""
+        if self._event_log is not None:
+            self._event_log.close()
         with self._lock:
             self._conn.close()
 

@@ -1,0 +1,349 @@
+"""Tests for the durable per-job event log (:mod:`repro.automl.eventlog`).
+
+The log is the restart-survival layer under the remote event stream, so the
+properties tested here are the ones recovery and ``?last_seq=`` replay lean
+on: append/read round-trips in seq order, segment rotation by size, seq-aware
+segment skipping on partial reads, bounded-segment compaction that never
+loses the newest segment (and with it the terminal event), torn-tail
+tolerance, and metadata persistence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.automl.eventlog import FSYNC_POLICIES, EventLog
+from repro.automl.events import (
+    EventBus,
+    JobStateChanged,
+    TrialFinished,
+    TrialReport,
+    TrialStarted,
+    event_to_wire,
+)
+
+
+def make_log(tmp_path, **kwargs):
+    return EventLog(str(tmp_path / "events"), **kwargs)
+
+
+def publish_stream(log, job_id, n_reports=5, terminal="completed"):
+    """Drive a realistic stream through a bus into the log; return the bus."""
+    bus = EventBus()
+    bus.subscribe(job_id, callback=log.append)
+    bus.publish(JobStateChanged(state="queued", job_id=job_id))
+    bus.publish(JobStateChanged(state="running", job_id=job_id))
+    bus.publish(TrialStarted(trial_id=0, params={"x": 0.5}, job_id=job_id))
+    for step in range(n_reports):
+        bus.publish(TrialReport(trial_id=0, step=step, value=float(step),
+                                job_id=job_id))
+    bus.publish(TrialFinished(trial_id=0, state="completed", value=1.0,
+                              record={"trial_id": 0, "state": "completed"},
+                              job_id=job_id))
+    if terminal:
+        bus.publish(JobStateChanged(state=terminal, terminal=True,
+                                    job_id=job_id))
+    return bus
+
+
+class TestAppendRead:
+    def test_round_trips_in_seq_order(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=4)
+        events = list(log.read(1))
+        assert [e.seq for e in events] == list(range(len(events)))
+        assert isinstance(events[0], JobStateChanged)
+        assert events[0].state == "queued"
+        assert isinstance(events[-1], JobStateChanged)
+        assert events[-1].terminal
+
+    def test_read_after_seq_filters(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "s")
+        publish_stream(log, 1)
+        all_seqs = [e.seq for e in log.read(1)]
+        assert [e.seq for e in log.read(1, after_seq=3)] == \
+            [s for s in all_seqs if s > 3]
+        assert list(log.read(1, after_seq=all_seqs[-1])) == []
+
+    def test_last_seq_and_last_event(self, tmp_path):
+        log = make_log(tmp_path)
+        assert log.last_seq(1) == -1
+        assert log.last_event(1) is None
+        log.open_job(1, "s")
+        publish_stream(log, 1)
+        last = log.last_event(1)
+        assert isinstance(last, JobStateChanged) and last.terminal
+        assert log.last_seq(1) == last.seq
+
+    def test_unstamped_event_rejected(self, tmp_path):
+        log = make_log(tmp_path)
+        with pytest.raises(ValueError, match="bus-stamped"):
+            log.append(TrialReport(trial_id=0))  # no job_id, seq -1
+
+    def test_lines_are_wire_payloads(self, tmp_path):
+        """Each segment line is exactly one event_to_wire JSON object."""
+        log = make_log(tmp_path)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=1)
+        job_dir = tmp_path / "events" / "job-1"
+        lines = []
+        for segment in sorted(job_dir.glob("events-*.ndjson")):
+            lines.extend(segment.read_text().splitlines())
+        events = list(log.read(1))
+        assert [json.loads(line) for line in lines] == \
+            [event_to_wire(e) for e in events]
+
+    def test_survives_reopen(self, tmp_path):
+        """A fresh EventLog over the same root reads everything back."""
+        log = make_log(tmp_path)
+        log.open_job(1, "my-study", refs={"space": "m:SPACE"})
+        publish_stream(log, 1)
+        expected = list(log.read(1))
+        log.close()
+        reopened = make_log(tmp_path)
+        assert list(reopened.read(1)) == expected
+        assert reopened.meta(1)["study_name"] == "my-study"
+        assert reopened.meta(1)["refs"] == {"space": "m:SPACE"}
+
+    def test_append_resumes_newest_segment_after_reopen(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "s")
+        publish_stream(log, 1, terminal=None)
+        last = log.last_seq(1)
+        log.close()
+        reopened = make_log(tmp_path)
+        # Mirrors recovery: a fresh bus primed past the logged history.
+        bus = EventBus()
+        bus.prime(1, last + 1)
+        bus.subscribe(1, callback=reopened.append)
+        bus.publish(JobStateChanged(state="completed", terminal=True,
+                                    job_id=1))
+        seqs = [e.seq for e in reopened.read(1)]
+        assert seqs == list(range(last + 2))
+
+
+class TestSegments:
+    def test_rotation_by_size(self, tmp_path):
+        log = make_log(tmp_path, segment_max_bytes=150)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=20)
+        segments = sorted((tmp_path / "events" / "job-1")
+                          .glob("events-*.ndjson"))
+        assert len(segments) > 1
+        assert log.stats()["rotations"] > 0
+        # Still one contiguous ordered stream across segments.
+        seqs = [e.seq for e in log.read(1)]
+        assert seqs == list(range(len(seqs)))
+
+    def test_segment_names_carry_first_seq(self, tmp_path):
+        log = make_log(tmp_path, segment_max_bytes=150)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=20)
+        for segment in (tmp_path / "events" / "job-1").glob("events-*.ndjson"):
+            first_named = int(segment.stem.split("-")[1])
+            first_line = segment.read_text().splitlines()[0]
+            assert json.loads(first_line)["seq"] == first_named
+
+    def test_max_segments_compacts_oldest(self, tmp_path):
+        log = make_log(tmp_path, segment_max_bytes=150, max_segments=2)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=30)
+        segments = sorted((tmp_path / "events" / "job-1")
+                          .glob("events-*.ndjson"))
+        assert len(segments) <= 2
+        assert log.stats()["compacted_segments"] > 0
+        # The surviving tail is contiguous and ends with the terminal event.
+        events = list(log.read(1))
+        seqs = [e.seq for e in events]
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        assert events[-1].terminal
+
+    def test_compact_is_seq_aware_and_keeps_newest(self, tmp_path):
+        log = make_log(tmp_path, segment_max_bytes=150)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=30)
+        last = log.last_seq(1)
+        removed = log.compact(1, keep_after_seq=last)
+        assert removed >= 1
+        events = list(log.read(1))
+        assert events and events[-1].terminal  # newest segment survived
+        assert log.compact(1, keep_after_seq=last) == 0  # idempotent
+
+    def test_compact_keeps_straddling_segment(self, tmp_path):
+        log = make_log(tmp_path, segment_max_bytes=150)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=30)
+        mid = log.last_seq(1) // 2
+        log.compact(1, keep_after_seq=mid)
+        # Everything after the keep point must still be readable.
+        seqs = [e.seq for e in log.read(1, after_seq=mid)]
+        assert seqs and seqs == list(range(mid + 1, seqs[-1] + 1))
+
+    def test_partial_read_skips_whole_segments(self, tmp_path):
+        """Resuming near the tail parses only the tail segments."""
+        log = make_log(tmp_path, segment_max_bytes=150)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=30)
+        last = log.last_seq(1)
+        tail = list(log.read(1, after_seq=last - 1))
+        assert [e.seq for e in tail] == [last]
+
+
+class TestDurability:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "s")
+        publish_stream(log, 1, terminal=None)
+        complete = list(log.read(1))
+        segment = sorted((tmp_path / "events" / "job-1")
+                         .glob("events-*.ndjson"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b'{"type": "TrialReport", "trial_id')  # torn write
+        assert list(log.read(1)) == complete
+        assert log.last_event(1) == complete[-1]
+
+    @pytest.mark.parametrize("policy", FSYNC_POLICIES)
+    def test_fsync_policies_all_append(self, tmp_path, policy):
+        log = EventLog(str(tmp_path / policy), fsync=policy)
+        log.open_job(1, "s")
+        publish_stream(log, 1, n_reports=2)
+        assert log.last_seq(1) >= 0
+        if policy == "always":
+            assert log.stats()["fsyncs"] >= log.stats()["appended"]
+        if policy == "never":
+            assert log.stats()["fsyncs"] == 0
+        log.close()
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            EventLog(str(tmp_path / "a"), fsync="sometimes")
+        with pytest.raises(ValueError, match="segment_max_bytes"):
+            EventLog(str(tmp_path / "b"), segment_max_bytes=0)
+        with pytest.raises(ValueError, match="max_segments"):
+            EventLog(str(tmp_path / "c"), max_segments=0)
+
+    def test_create_false_requires_existing_root(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            EventLog(str(tmp_path / "missing"), create=False)
+        make_log(tmp_path).close()
+        assert EventLog(str(tmp_path / "events"), create=False).jobs() == []
+
+
+class TestMetaAndRemoval:
+    def test_meta_merges_on_reopen(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "s", refs={"space": "m:SPACE"}, priority=2.0)
+        log.open_job(1, "s", preempt=True)
+        meta = log.meta(1)
+        assert meta["refs"] == {"space": "m:SPACE"}
+        assert meta["preempt"] is True
+
+    def test_jobs_and_has_job(self, tmp_path):
+        log = make_log(tmp_path)
+        assert log.jobs() == []
+        log.open_job(3, "a")
+        log.open_job(1, "b")
+        assert log.jobs() == [1, 3]
+        assert log.has_job(3) and not log.has_job(2)
+
+    def test_remove_job_and_remove_study(self, tmp_path):
+        log = make_log(tmp_path)
+        log.open_job(1, "keep")
+        log.open_job(2, "drop")
+        log.open_job(3, "drop")
+        publish_stream(log, 2)
+        assert sorted(log.remove_study("drop")) == [2, 3]
+        assert log.jobs() == [1]
+        log.remove_job(1)
+        log.remove_job(1)  # idempotent
+        assert log.jobs() == []
+
+
+class TestStorageWiring:
+    def test_file_storage_owns_sibling_event_log(self, tmp_path):
+        from repro.automl.storage import StudyStorage
+
+        db = tmp_path / "service.db"
+        storage = StudyStorage(str(db))
+        assert storage.events_dir == str(db) + ".events"
+        log = storage.event_log
+        assert log is storage.event_log  # cached
+        assert (tmp_path / "service.db.events").is_dir()
+        storage.close()
+
+    def test_memory_storage_has_no_event_log(self):
+        from repro.automl.storage import StudyStorage
+
+        storage = StudyStorage()
+        assert storage.event_log is None
+        storage.close()
+
+    def test_delete_study_removes_job_logs(self, tmp_path):
+        from repro.automl.search_space import SearchSpace, Uniform
+        from repro.automl.storage import StudyStorage
+        from repro.automl.study import Study
+
+        storage = StudyStorage(str(tmp_path / "s.db"))
+        study = Study(SearchSpace({"x": Uniform(0.0, 1.0)}))
+        storage.save_study("gone", study, status="completed")
+        storage.event_log.open_job(5, "gone")
+        storage.delete_study("gone")
+        assert not storage.event_log.has_job(5)
+        storage.close()
+
+    def test_gc_removes_job_logs(self, tmp_path):
+        from repro.automl.search_space import SearchSpace, Uniform
+        from repro.automl.storage import StudyStorage
+        from repro.automl.study import Study
+
+        storage = StudyStorage(str(tmp_path / "s.db"))
+        study = Study(SearchSpace({"x": Uniform(0.0, 1.0)}))
+        storage.save_study("old", study, status="completed")
+        storage.event_log.open_job(9, "old")
+        assert storage.gc(max_age_days=0.0) == ["old"]
+        assert not storage.event_log.has_job(9)
+        storage.close()
+
+    def test_delete_without_log_dir_does_not_create_one(self, tmp_path):
+        from repro.automl.search_space import SearchSpace, Uniform
+        from repro.automl.storage import StudyStorage
+        from repro.automl.study import Study
+
+        db = tmp_path / "s.db"
+        storage = StudyStorage(str(db))
+        study = Study(SearchSpace({"x": Uniform(0.0, 1.0)}))
+        storage.save_study("rowonly", study, status="completed")
+        storage.delete_study("rowonly")
+        assert not (tmp_path / "s.db.events").exists()
+        storage.close()
+
+
+class TestBusPriming:
+    def test_prime_continues_sequence(self):
+        bus = EventBus()
+        bus.prime(1, 10)
+        stamped = bus.publish(TrialReport(trial_id=0, job_id=1))
+        assert stamped.seq == 10
+
+    def test_prime_rejects_existing_stream(self):
+        bus = EventBus()
+        bus.publish(TrialReport(trial_id=0, job_id=1))
+        with pytest.raises(ValueError, match="already has events"):
+            bus.prime(1, 5)
+
+    def test_prime_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            EventBus().prime(1, -1)
+
+    def test_primed_stream_replays_only_new_events(self):
+        bus = EventBus()
+        bus.prime(1, 100)
+        bus.publish(TrialReport(trial_id=0, step=0, job_id=1))
+        bus.publish(JobStateChanged(state="completed", terminal=True,
+                                    job_id=1))
+        seqs = [e.seq for e in bus.subscribe(1)]
+        assert seqs == [100, 101]
