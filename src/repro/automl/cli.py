@@ -17,6 +17,10 @@ view onto that file — and, with ``--server URL``, onto a *live*
     python -m repro.automl.cli --db anttune.db serve --port 8123 --recover
     python -m repro.automl.cli --db anttune.db log
     python -m repro.automl.cli --db anttune.db log 3 --after-seq 17
+    python -m repro.automl.cli --db anttune.db metrics
+    python -m repro.automl.cli metrics --server http://127.0.0.1:8123
+    python -m repro.automl.cli metrics --server http://127.0.0.1:8123 \
+        --watch 1 --count 5
     python -m repro.automl.cli list --server http://127.0.0.1:8123
     python -m repro.automl.cli show 3 --server http://127.0.0.1:8123
     python -m repro.automl.cli resume my-study --server http://127.0.0.1:8123 \
@@ -40,6 +44,15 @@ inspects that event log directly: without arguments it tables every logged
 job, with a job id it prints the job's events as NDJSON (one
 ``event_to_wire`` payload per line, ``--after-seq`` to start mid-stream) —
 the exact bytes the ``/v1/jobs/{id}/events`` stream would serve.
+
+``metrics`` prints service metrics: with ``--server`` the live server's
+``/v1/metrics`` Prometheus text exposition verbatim (every instrumented hot
+path — scheduler ticks, ask/tell latency, trial timings, event-log fsyncs,
+HTTP routes); without it a storage-side snapshot derived from the local
+``--db`` file and its event log (study/trial counts, logged seq high-water)
+in the same exposition syntax.  ``--watch SECONDS`` re-renders on an
+interval (``--count`` bounds the renders), making a poor-man's dashboard:
+``watch -n1`` without leaving the CLI.
 
 With ``--server URL`` the ``resume``/``list``/``show``/``cancel`` commands
 talk to a live server through the SDK client instead of touching any local
@@ -280,6 +293,77 @@ def _cmd_log(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def _local_metrics_lines(args: argparse.Namespace,
+                         out: Callable[[str], None]) -> int:
+    """A storage-side metrics snapshot in Prometheus exposition syntax.
+
+    Derived purely from the ``--db`` file and its event log directory — no
+    live process involved, so there are no hot-path timings here (scrape a
+    running server's ``/v1/metrics`` for those); what the disk *can* answer
+    is study/trial accounting and the durable log's shape.
+    """
+    from repro.automl.eventlog import EventLog
+
+    if args.db != ":memory:" and not Path(args.db).exists():
+        out(f"error: no such database file: {args.db}")
+        return 1
+    out(f"# Storage-side snapshot of {args.db} (no live timings; scrape a "
+        f"running server's /v1/metrics for those).")
+    with StudyStorage(args.db) as storage:
+        studies = storage.list_studies()
+        status_counts: dict = {}
+        trials = completed = 0
+        for study in studies:
+            status = study["status"]
+            status_counts[status] = status_counts.get(status, 0) + 1
+            trials += study["num_trials"] or 0
+            completed += study["completed"] or 0
+        out("# TYPE anttune_db_studies gauge")
+        for status in sorted(status_counts):
+            out(f'anttune_db_studies{{status="{status}"}} '
+                f'{status_counts[status]}')
+        out("# TYPE anttune_db_trials gauge")
+        out(f"anttune_db_trials {trials}")
+        out(f'anttune_db_trials{{state="completed"}} {completed}')
+    events_dir = args.db + ".events"
+    try:
+        log = EventLog(events_dir, create=False)
+    except FileNotFoundError:
+        return 0  # this --db never served jobs; the storage lines stand alone
+    job_ids = log.jobs()
+    segments = sum(len(log._segments(job_id)) for job_id in job_ids)
+    out("# TYPE anttune_eventlog_jobs gauge")
+    out(f"anttune_eventlog_jobs {len(job_ids)}")
+    out("# TYPE anttune_eventlog_segments gauge")
+    out(f"anttune_eventlog_segments {segments}")
+    out("# TYPE anttune_eventlog_last_seq gauge")
+    for job_id in job_ids:
+        out(f'anttune_eventlog_last_seq{{job="{job_id}"}} '
+            f'{log.last_seq(job_id)}')
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace,
+                 out: Callable[[str], None]) -> int:
+    """Render metrics once, or repeatedly with ``--watch`` (see module docs)."""
+    remaining = args.count
+    while True:
+        if args.server:
+            out(_remote_client(args).metrics().rstrip("\n"))
+        else:
+            code = _local_metrics_lines(args, out)
+            if code != 0:
+                return code
+        if args.watch is None:
+            return 0
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        time.sleep(args.watch)
+        out("")  # blank separator between refreshes
+
+
 # --------------------------------------------------------------------------- #
 # Server-mode commands (--server URL): talk to a live RemoteTuneServer
 # --------------------------------------------------------------------------- #
@@ -507,6 +591,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "with storage: auto-resume or finalise jobs a "
                             "previous process left RUNNING")
 
+    metrics_cmd = sub.add_parser(
+        "metrics", help="print service metrics: a live server's Prometheus "
+                        "/v1/metrics exposition (--server), or a "
+                        "storage-side snapshot of the local --db")
+    metrics_cmd.add_argument("--watch", type=float, default=None,
+                             metavar="SECONDS",
+                             help="re-render every SECONDS (default: print "
+                                  "once and exit)")
+    metrics_cmd.add_argument("--count", type=int, default=None,
+                             help="with --watch, stop after this many "
+                                  "renders (default: until interrupted)")
+    add_server_options(metrics_cmd)
+
     log_cmd = sub.add_parser(
         "log", help="inspect the durable event log next to --db "
                     "(<db>.events): list logged jobs, or dump one job's "
@@ -557,6 +654,14 @@ def main(argv: Optional[Sequence[str]] = None,
     if args.command == "log":
         # log reads the events directory next to --db, not the db itself.
         return _cmd_log(args, out)
+    if args.command == "metrics":
+        try:
+            return _cmd_metrics(args, out)
+        except KeyboardInterrupt:  # pragma: no cover - interactive --watch
+            return 0
+        except TrialError as exc:
+            out(f"error: {exc}")
+            return 1
     if getattr(args, "server", None):
         remote_commands = {"list": _cmd_remote_list, "show": _cmd_remote_show,
                            "resume": _cmd_remote_resume,

@@ -62,11 +62,25 @@ import shutil
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.automl import metrics as _metrics
 from repro.automl.events import Event, event_from_wire, event_to_wire
 
 __all__ = ["EventLog", "FSYNC_POLICIES"]
+
+# Durability-path timings; each histogram's _count doubles as the operation
+# counter (appends/fsyncs/rotations), matching EventLog.stats().
+_APPEND_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_eventlog_append_seconds",
+    "EventLog.append latency (serialise + write + flush, fsync included "
+    "when the policy triggers one).")
+_FSYNC_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_eventlog_fsync_seconds", "EventLog fsync latency.")
+_ROTATION_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_eventlog_rotation_seconds",
+    "EventLog segment rotation latency (close + open + compaction).")
 
 #: Accepted values for the ``fsync`` policy.
 FSYNC_POLICIES = ("always", "interval", "never")
@@ -189,7 +203,8 @@ class EventLog:
     # ------------------------------------------------------------------ #
     def open_job(self, job_id: int, study_name: str,
                  refs: Optional[Dict[str, str]] = None,
-                 priority: float = 1.0, preempt: bool = False) -> None:
+                 priority: float = 1.0, preempt: bool = False,
+                 trace_id: Optional[str] = None) -> None:
         """Create (or update) a job's directory and recovery metadata.
 
         ``meta.json`` is what makes crash recovery possible: it maps the job
@@ -207,6 +222,10 @@ class EventLog:
                 known.
             priority: the job's fair-share weight, restored on auto-resume.
             preempt: the job's preempt flag, restored on auto-resume.
+            trace_id: the job's trace id, when known — persisted so a
+                recovered resume continues the *same* trace instead of
+                starting a fresh one, keeping pre- and post-crash events
+                correlated.
         """
         job_dir = self._job_dir(job_id)
         with self._lock:
@@ -215,6 +234,8 @@ class EventLog:
             meta.update({"job_id": int(job_id), "study_name": study_name,
                          "priority": float(priority),
                          "preempt": bool(preempt)})
+            if trace_id:
+                meta["trace_id"] = str(trace_id)
             if refs:
                 meta["refs"] = {key: str(value)
                                 for key, value in dict(refs).items()}
@@ -257,6 +278,7 @@ class EventLog:
         if job_id is None or seq < 0:
             raise ValueError("only bus-stamped events (job_id set, seq >= 0) "
                              "can be logged")
+        append_start = perf_counter()
         line = (json.dumps(event_to_wire(event), sort_keys=True) + "\n") \
             .encode("utf-8")
         import time
@@ -278,6 +300,7 @@ class EventLog:
                 if now - appender.last_fsync >= self.fsync_interval:
                     self._fsync(appender)
                     appender.last_fsync = now
+        _APPEND_SECONDS.observe(perf_counter() - append_start)
 
     def _open_appender(self, job_id: int) -> _Appender:
         """Resume appending to the job's newest segment (or start fresh)."""
@@ -293,6 +316,11 @@ class EventLog:
 
     def _rotate(self, job_id: int, appender: _Appender, first_seq: int) -> None:
         """Close the active segment and open a new one starting at ``first_seq``."""
+        with _ROTATION_SECONDS.time():
+            self._rotate_locked(job_id, appender, first_seq)
+
+    def _rotate_locked(self, job_id: int, appender: _Appender,
+                       first_seq: int) -> None:
         if appender.handle is not None:
             self._fsync(appender)
             appender.handle.close()
@@ -319,8 +347,10 @@ class EventLog:
             return
         import os
         try:
+            fsync_start = perf_counter()
             os.fsync(appender.handle.fileno())
             self.fsyncs += 1
+            _FSYNC_SECONDS.observe(perf_counter() - fsync_start)
         except OSError:  # pragma: no cover - e.g. fsync on a pipe
             pass
 

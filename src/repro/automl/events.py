@@ -24,7 +24,11 @@ Event types
 
 Events are immutable.  ``job_id`` and ``seq`` are stamped by the bus at
 publish time: ``seq`` increases monotonically *per job*, so any two consumers
-of the same job observe the same total order.
+of the same job observe the same total order.  ``trace_id`` is the owning
+job's correlation id (stamped by the server's event sink, carried end-to-end
+from the submitting HTTP request's ``X-Request-Id`` header — see
+:mod:`repro.automl.metrics`); it is omitted from the wire payload while
+unset, so pre-trace streams and documentation round-trip unchanged.
 
 Delivery semantics
 ------------------
@@ -54,7 +58,10 @@ import queue as queue_module
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Union
+
+from repro.automl import metrics as _metrics
 
 __all__ = [
     "TrialEvent",
@@ -86,6 +93,8 @@ class TrialStarted(TrialEvent):
         worker: the worker attribution label.
         job_id: owning job (stamped by the bus; None for bare studies).
         seq: per-job publish sequence number (stamped by the bus).
+        trace_id: the owning job's trace id (stamped by the server's event
+            sink; None for bare studies).
     """
 
     trial_id: int
@@ -93,6 +102,7 @@ class TrialStarted(TrialEvent):
     worker: Optional[str] = None
     job_id: Optional[int] = None
     seq: int = -1
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +118,7 @@ class TrialReport(TrialEvent):
     value: float = 0.0
     job_id: Optional[int] = None
     seq: int = -1
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -123,6 +134,7 @@ class TrialKilled(TrialEvent):
     reason: str = "cancelled"
     job_id: Optional[int] = None
     seq: int = -1
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -145,6 +157,7 @@ class TrialFinished(TrialEvent):
     record: Dict[str, object] = field(default_factory=dict)
     job_id: Optional[int] = None
     seq: int = -1
+    trace_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -162,6 +175,7 @@ class JobStateChanged:
     terminal: bool = False
     job_id: Optional[int] = None
     seq: int = -1
+    trace_id: Optional[str] = None
 
 
 Event = Union[TrialStarted, TrialReport, TrialKilled, TrialFinished,
@@ -173,6 +187,21 @@ EVENT_TYPES: Dict[str, type] = {
     for cls in (TrialStarted, TrialReport, TrialKilled, TrialFinished,
                 JobStateChanged)
 }
+
+# Publish latency per event type; the histogram's _count doubles as the
+# events-published-total counter.  Children are resolved once here — the
+# publish hot path does a dict lookup, never a labels() call.
+_PUBLISH_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_event_publish_seconds",
+    "EventBus.publish latency (stamp + ordered delivery) by event type.",
+    labels=("type",))
+_PUBLISH_CHILDREN = {name: _PUBLISH_SECONDS.labels(type=name)
+                     for name in EVENT_TYPES}
+_QUEUE_DROPPED = _metrics.REGISTRY.counter(
+    "anttune_event_queue_dropped_total",
+    "Events shed by lagging subscriber queues, by job. Cumulative for the "
+    "process lifetime: never reset by consumer churn or bus re-priming.",
+    labels=("job",))
 
 
 def event_to_wire(event: Event) -> Dict[str, object]:
@@ -196,6 +225,11 @@ def event_to_wire(event: Event) -> Dict[str, object]:
         raise TypeError(f"not a known event type: {type(event)!r}")
     payload = dataclasses.asdict(event)
     payload["type"] = name
+    if payload.get("trace_id") is None:
+        # Keep pre-trace payloads byte-identical: streams logged before the
+        # metrics plane existed (and documented NDJSON examples) round-trip
+        # without a spurious null field.
+        payload.pop("trace_id", None)
     return payload
 
 
@@ -410,6 +444,7 @@ class EventBus:
         Returns:
             The stamped (sequenced) event that subscribers received.
         """
+        publish_start = perf_counter()
         terminal = isinstance(event, JobStateChanged) and event.terminal
         with self._lock:
             job_id = event.job_id
@@ -461,6 +496,8 @@ class EventBus:
             finally:
                 turnstile.next_seq = seq + 1
                 turnstile.cond.notify_all()
+        _PUBLISH_CHILDREN[type(event).__name__].observe(
+            perf_counter() - publish_start)
         return stamped
 
     def prime(self, job_id: Optional[int], next_seq: int) -> None:
@@ -471,7 +508,9 @@ class EventBus:
         for it — those must be stamped after the last logged seq, or clients
         resuming with ``last_seq`` would silently drop them as duplicates.
         ``prime`` sets the next sequence number a fresh (event-less) job
-        stream will stamp.
+        stream will stamp.  Priming touches *only* the seq numbering: the
+        bus's drop counters (:meth:`dropped` / :meth:`dropped_total`) are
+        cumulative and survive re-priming untouched.
 
         Args:
             job_id: the job stream to prime.
@@ -564,19 +603,28 @@ class EventBus:
         # lock; a dedicated lock avoids any interplay with the bus lock.
         with self._dropped_lock:
             self._dropped[job_id] = self._dropped.get(job_id, 0) + 1
+        _QUEUE_DROPPED.labels(job="none" if job_id is None else job_id).inc()
 
     def dropped(self, job_id: Optional[int]) -> int:
         """Events shed by ``job_id``'s subscriber queues (all subscriptions).
 
         Counts live and already-closed subscriptions alike, so a burst that
         outran a consumer stays visible in :meth:`AntTuneServer.status
-        <repro.automl.server.AntTuneServer.status>` after the fact.
+        <repro.automl.server.AntTuneServer.status>` after the fact.  The
+        tally is **cumulative for the bus's lifetime**: neither subscription
+        churn nor :meth:`prime` (the recovery path re-priming a job's seq
+        numbering) ever resets it.  The same counts are exported as the
+        ``anttune_event_queue_dropped_total{job=...}`` metric.
         """
         with self._dropped_lock:
             return self._dropped.get(job_id, 0)
 
     def dropped_total(self) -> int:
-        """Events shed by subscriber queues across every job on this bus."""
+        """Events shed by subscriber queues across every job on this bus.
+
+        Like :meth:`dropped`, cumulative and never reset while the bus
+        lives; monotonically equal to the sum of the per-job counts.
+        """
         with self._dropped_lock:
             return sum(self._dropped.values())
 

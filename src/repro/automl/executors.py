@@ -67,6 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 import numpy as np
 
+from repro.automl import metrics as _metrics
 from repro.automl.transport import TelemetryTransport
 from repro.automl.trial import (
     KILL_CANCELLED,
@@ -101,6 +102,26 @@ STARVATION_GRACE_FACTOR = 5.0
 # How often a waiting batch wakes up to run its tick callback (telemetry
 # draining, mid-trial pruning, cancellation checks).
 TICK_INTERVAL = 0.05
+
+# Parent-side trial metrics, labelled per backend.  Recorded from future
+# done-callbacks so the process backend (whose objective runs in another
+# interpreter) is observed exactly like the local ones.
+_QUEUE_WAIT_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_trial_queue_wait_seconds",
+    "Seconds a submitted trial waited before its objective started.",
+    labels=("backend",))
+_RUN_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_trial_run_seconds",
+    "Trial objective wall-clock runtime (terminal trials).",
+    labels=("backend",))
+_TRIALS_TOTAL = _metrics.REGISTRY.counter(
+    "anttune_trials_total", "Trials resolved, by backend and terminal state.",
+    labels=("backend", "state"))
+_TRANSPORT_DROPPED = _metrics.REGISTRY.counter(
+    "anttune_transport_dropped_total",
+    "Intermediate report records shed by the shared-memory telemetry ring. "
+    "Cumulative across pool rebuilds (mirrors TrialExecutor.telemetry_dropped).",
+    labels=("backend",))
 
 
 class TrialExecutorClosed(RuntimeError):
@@ -212,6 +233,37 @@ class TrialExecutor:
     """
 
     n_workers: int = 1
+
+    #: Metrics label for this executor's pool flavour.
+    backend_name: str = "custom"
+
+    def _observe_trial(self, trial: Trial,
+                       future: "Future[Trial]") -> "Future[Trial]":
+        """Attach per-trial metric recording to a submission's future.
+
+        Records, when the future resolves: the terminal-state counter, the
+        queue wait (submit -> observed start) and the objective runtime —
+        all labelled with :attr:`backend_name`.  Metric failures are
+        swallowed; observation must never break result delivery.
+        """
+        submitted = time.perf_counter()
+        backend = self.backend_name
+
+        def _done(_: "Future[Trial]") -> None:
+            try:
+                state = trial.state.value if trial.is_finished else "unknown"
+                _TRIALS_TOTAL.labels(backend=backend, state=state).inc()
+                started = trial.started_at
+                if started is not None and started >= submitted:
+                    _QUEUE_WAIT_SECONDS.labels(backend=backend).observe(
+                        started - submitted)
+                duration = trial.duration_seconds
+                if duration is not None:
+                    _RUN_SECONDS.labels(backend=backend).observe(duration)
+            except Exception:  # noqa: BLE001 - never fail the done-callback
+                pass
+        future.add_done_callback(_done)
+        return future
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
@@ -440,11 +492,13 @@ class SynchronousExecutor(TrialExecutor):
     """
 
     n_workers = 1
+    backend_name = "sync"
 
     def submit(self, objective: Objective, trial: Trial,
                trial_time_limit: Optional[float] = None) -> "Future[Trial]":
         """Run the trial inline and return an already-resolved future."""
         future: "Future[Trial]" = Future()
+        self._observe_trial(trial, future)
         future.set_result(execute_trial(objective, trial, trial_time_limit))
         return future
 
@@ -459,6 +513,8 @@ class ThreadPoolTrialExecutor(TrialExecutor):
     reports are immediately visible to the scheduler and kill signals take
     effect at the straggler's next report.
     """
+
+    backend_name = "thread"
 
     def __init__(self, n_workers: int, thread_name_prefix: str = "anttune-worker") -> None:
         if n_workers < 1:
@@ -493,14 +549,15 @@ class ThreadPoolTrialExecutor(TrialExecutor):
             TrialExecutorClosed: the executor was permanently closed.
         """
         try:
-            return self._ensure_pool().submit(execute_trial, objective, trial,
-                                              trial_time_limit)
+            future = self._ensure_pool().submit(execute_trial, objective,
+                                                trial, trial_time_limit)
         except RuntimeError:
             # BrokenThreadPool subclasses RuntimeError; a shut-down pool raises
             # RuntimeError too.  Rebuild once and resubmit.
             self._discard_pool()
-            return self._ensure_pool().submit(execute_trial, objective, trial,
-                                              trial_time_limit)
+            future = self._ensure_pool().submit(execute_trial, objective,
+                                                trial, trial_time_limit)
+        return self._observe_trial(trial, future)
 
     def shutdown(self) -> None:
         """Release the pool; a later submit transparently rebuilds it."""
@@ -636,6 +693,8 @@ class ProcessPoolTrialExecutor(TrialExecutor):
     study's retry logic resubmits.
     """
 
+    backend_name = "process"
+
     def __init__(self, n_workers: int, base_seed: int = 0) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -663,6 +722,10 @@ class ProcessPoolTrialExecutor(TrialExecutor):
         # Ring-overflow drops accumulated from transports of discarded pools,
         # so telemetry_dropped stays cumulative across rebuilds.
         self._dropped_baseline = 0
+        # How much of telemetry_dropped this instance already mirrored into
+        # the anttune_transport_dropped_total metric (delta accounting, so
+        # several executors in one process sum instead of clobbering).
+        self._dropped_mirrored = 0
 
     def _ensure_pool(self) -> "tuple[ProcessPoolExecutor, TelemetryTransport]":
         """The live (pool, transport) pair, created together.
@@ -694,6 +757,7 @@ class ProcessPoolTrialExecutor(TrialExecutor):
             pool.shutdown(wait=False)
         # The transport's shared memory is released with its last reference
         # (parent dict entries above, worker globals when the pool dies).
+        self._mirror_dropped()
 
     def _submit_raw(self, objective: Objective, trial: Trial, ticket: int,
                     trial_time_limit: Optional[float]) -> Future:
@@ -743,6 +807,7 @@ class ProcessPoolTrialExecutor(TrialExecutor):
             self._forget(ticket, trial)
             raise
         merged.attach(raw)
+        self._observe_trial(trial, merged)
         raw.add_done_callback(self._merge_into(trial, ticket, merged))
         return merged
 
@@ -792,11 +857,33 @@ class ProcessPoolTrialExecutor(TrialExecutor):
                             values.append(float("nan"))
                         values.append(float(value))
                         mirrored += 1
+        self._mirror_dropped()
         return mirrored
+
+    def _mirror_dropped(self) -> None:
+        """Mirror new drops into ``anttune_transport_dropped_total``.
+
+        Delta accounting against what this instance already exported, so the
+        metric keeps the counter contract (monotonic, cumulative across pool
+        rebuilds) even with several process executors alive in one process.
+        """
+        total = self.telemetry_dropped
+        with self._telemetry_lock:
+            delta = total - self._dropped_mirrored
+            if delta > 0:
+                self._dropped_mirrored = total
+        if delta > 0:
+            _TRANSPORT_DROPPED.labels(backend=self.backend_name).inc(delta)
 
     @property
     def telemetry_dropped(self) -> int:
-        """Report records shed to ring overflow, cumulative across rebuilds."""
+        """Report records shed to ring overflow since construction.
+
+        **Cumulative across pool rebuilds**: when a broken pool is discarded,
+        its transport's drop count folds into a baseline that every later
+        read includes — the counter never goes backwards, matching the
+        ``anttune_transport_dropped_total`` metric it feeds.
+        """
         with self._pool_lock:
             live = 0 if self._transport is None else self._transport.dropped
             return self._dropped_baseline + live

@@ -99,15 +99,25 @@ class AntTuneClient:
     # ------------------------------------------------------------------ #
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, object]] = None,
-                 timeout: Optional[float] = None) -> Dict[str, object]:
+                 timeout: Optional[float] = None,
+                 request_id: Optional[str] = None) -> Dict[str, object]:
+        raw = self._request_raw(method, path, payload=payload,
+                                timeout=timeout, request_id=request_id)
+        return json.loads(raw.decode("utf-8"))
+
+    def _request_raw(self, method: str, path: str,
+                     payload: Optional[Dict[str, object]] = None,
+                     timeout: Optional[float] = None,
+                     request_id: Optional[str] = None) -> bytes:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method,
-            headers=self._headers(json_body=body is not None))
+            headers=self._headers(json_body=body is not None,
+                                  request_id=request_id))
         try:
             with urllib.request.urlopen(
                     request, timeout=timeout or self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                return response.read()
         except urllib.error.HTTPError as exc:
             raise self._to_error(exc) from None
         except urllib.error.URLError as exc:
@@ -115,12 +125,15 @@ class AntTuneClient:
                 f"cannot reach tune server at {self.base_url}: "
                 f"{exc.reason}") from None
 
-    def _headers(self, json_body: bool = False) -> Dict[str, str]:
+    def _headers(self, json_body: bool = False,
+                 request_id: Optional[str] = None) -> Dict[str, str]:
         headers = {"Accept": "application/json"}
         if json_body:
             headers["Content-Type"] = "application/json"
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        if request_id is not None:
+            headers["X-Request-Id"] = str(request_id)
         return headers
 
     @staticmethod
@@ -142,14 +155,29 @@ class AntTuneClient:
         return self._request("GET", "/v1/health")
 
     def server_status(self) -> Dict[str, object]:
-        """Server-wide snapshot (pool sizing, job counts, backpressure)."""
+        """Server-wide snapshot (pool sizing, job counts, backpressure).
+
+        Includes the structured ``metrics`` section — the server's full
+        registry snapshot; :meth:`metrics` fetches the same data in
+        Prometheus text form instead.
+        """
         return self._request("GET", "/v1/status")
+
+    def metrics(self) -> str:
+        """The server's ``/v1/metrics`` Prometheus text exposition, verbatim.
+
+        One ``# HELP``/``# TYPE``-annotated block per metric family; feed it
+        to a Prometheus scraper or parse the lines directly (see
+        ``docs/observability.md`` for the catalog).
+        """
+        return self._request_raw("GET", "/v1/metrics").decode("utf-8")
 
     def submit(self, space: str, objective: str, *,
                algorithm: Optional[str] = None, pruner: Optional[str] = None,
                config: Union[None, StudyConfig, Dict[str, object]] = None,
                seed: Optional[int] = None, study_name: Optional[str] = None,
-               priority: float = 1.0, preempt: bool = False) -> int:
+               priority: float = 1.0, preempt: bool = False,
+               request_id: Optional[str] = None) -> int:
         """Enqueue a job on the remote server and return its id.
 
         Mirrors :meth:`AntTuneServer.submit
@@ -170,6 +198,9 @@ class AntTuneClient:
             study_name: storage name (must be unique among active jobs).
             priority: fair-share weight (> 0).
             preempt: claim the fair share immediately on start.
+            request_id: sent as ``X-Request-Id`` and adopted by the server
+                as the job's trace id — every event the job publishes then
+                carries it; the server generates one when omitted.
 
         Returns:
             The new job's id.
@@ -190,23 +221,27 @@ class AntTuneClient:
             body["seed"] = int(seed)
         if study_name is not None:
             body["study_name"] = study_name
-        result = self._request("POST", "/v1/jobs", body)
+        result = self._request("POST", "/v1/jobs", body,
+                               request_id=request_id)
         return int(result["job_id"])
 
     def resume(self, study_name: str, space: str, objective: str, *,
                algorithm: Optional[str] = None, pruner: Optional[str] = None,
-               priority: float = 1.0, preempt: bool = False) -> int:
+               priority: float = 1.0, preempt: bool = False,
+               request_id: Optional[str] = None) -> int:
         """Resume a stored study on the remote server; returns the new job id.
 
         Mirrors :meth:`AntTuneServer.resume
         <repro.automl.server.AntTuneServer.resume>`; the server must have
-        storage attached and know ``study_name``.
+        storage attached and know ``study_name``.  ``request_id`` becomes
+        the resumed job's trace id (see :meth:`submit`).
         """
         body = self._job_body(space, objective, algorithm=algorithm,
                               pruner=pruner, priority=priority,
                               preempt=preempt)
         body["study_name"] = study_name
-        result = self._request("POST", "/v1/resume", body)
+        result = self._request("POST", "/v1/resume", body,
+                               request_id=request_id)
         return int(result["job_id"])
 
     def _job_body(self, space: str, objective: str, *,

@@ -8,6 +8,8 @@
 ====================================  =========================================
 ``GET  /v1/health``                   liveness + protocol version
 ``GET  /v1/status``                   server-wide snapshot (jobs, backpressure)
+``GET  /v1/metrics``                  Prometheus text exposition of every
+                                      instrumented hot path
 ``POST /v1/jobs``                     submit (space/objective refs, priority,
                                       preempt, seed) -> ``{"job_id": n}``
 ``GET  /v1/jobs``                     status snapshots of every job
@@ -37,6 +39,16 @@ interrupted jobs are auto-resumed or finalised before the first client
 request can observe the restarted server — reconnecting SDKs never race the
 reconciliation.
 
+Observability: every request is timed into the
+``anttune_http_request_seconds{method,endpoint}`` histogram and counted in
+``anttune_http_requests_total{method,endpoint,status}`` (endpoint labels are
+the route *templates* — ``/v1/jobs/{id}`` — never raw paths, keeping label
+cardinality bounded).  Each request's ``X-Request-Id`` header (generated when
+absent) is echoed back on the response and, on submit/resume, becomes the
+job's trace id — the correlation id stamped on every event the job publishes,
+so one id follows a request from HTTP ingress through the whole trial
+lifecycle and across crash-recovered resumes.
+
 Failure handling: schema violations answer 4xx JSON error bodies
 (:class:`~repro.automl.remote.api.ProtocolError` carries the status), unknown
 jobs/studies answer 404, conflicts (duplicate study names) 409, and anything
@@ -51,8 +63,10 @@ import json
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
+from repro.automl import metrics as _metrics
 from repro.automl.events import JobStateChanged, event_to_wire
 from repro.automl.remote.api import (
     PROTOCOL_VERSION,
@@ -75,10 +89,35 @@ HEARTBEAT_SECONDS = 5.0
 # *reading* fills the TCP window and would otherwise block the handler
 # thread (and pin its subscription) forever.
 STREAM_SEND_TIMEOUT = 30.0
+# The Prometheus text exposition content type served by GET /v1/metrics.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_HTTP_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_http_request_seconds",
+    "HTTP request handling latency by method and route template.",
+    labels=("method", "endpoint"))
+_HTTP_TOTAL = _metrics.REGISTRY.counter(
+    "anttune_http_requests_total",
+    "HTTP requests served by method, route template and status code.",
+    labels=("method", "endpoint", "status"))
 
 
 def _json_bytes(payload: object) -> bytes:
     return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _clean_request_id(raw: Optional[str]) -> Optional[str]:
+    """A caller-supplied X-Request-Id, or None when unusable.
+
+    Printable, headerable, bounded: anything else is replaced by a generated
+    id rather than echoed back verbatim into a response header.
+    """
+    if not raw:
+        return None
+    raw = raw.strip()
+    if not raw or len(raw) > 128 or not raw.isprintable():
+        return None
+    return raw
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -86,6 +125,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     remote: "RemoteTuneServer"
     protocol_version = "HTTP/1.1"
+    # Per-request observability state, reset by _dispatch: the status code
+    # the reply carried and the request's correlation id.
+    _last_status: int = 0
+    _request_id: Optional[str] = None
     # The default handler logs every request to stderr; route through the
     # remote server's hook so tests/operators control verbosity.
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
@@ -96,10 +139,17 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _reply(self, status: int, payload: object,
                close: bool = False) -> None:
-        body = _json_bytes(payload)
+        self._reply_bytes(status, _json_bytes(payload), "application/json",
+                          close=close)
+
+    def _reply_bytes(self, status: int, body: bytes, content_type: str,
+                     close: bool = False) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         if close:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -176,15 +226,22 @@ class _Handler(BaseHTTPRequestHandler):
     # Dispatch
     # ------------------------------------------------------------------ #
     def _dispatch(self, method: str) -> None:
+        start = perf_counter()
+        self._last_status = 0
+        self._request_id = (_clean_request_id(self.headers.get("X-Request-Id"))
+                            or _metrics.new_trace_id())
+        endpoint = "unmatched"  # route *template*, never the raw path: label
+        # cardinality stays bounded no matter what clients request.
         try:
             path, params = self._query()
             if not self.remote.check_auth(self._bearer_token()):
                 self._error(401, "missing or invalid bearer token")
                 return
-            handler = self._route(method, path)
-            if handler is None:
+            routed = self._route(method, path)
+            if routed is None:
                 self._error(404, f"no such endpoint: {method} {path}")
                 return
+            handler, endpoint = routed
             handler(params)
         except ProtocolError as exc:
             self._safe_error(exc.status, str(exc))
@@ -197,6 +254,11 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - one bad request must never
             # take the server (or even its connection thread) down.
             self._safe_error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            _HTTP_TOTAL.labels(method=method, endpoint=endpoint,
+                               status=str(self._last_status or 0)).inc()
+            _HTTP_SECONDS.labels(method=method, endpoint=endpoint).observe(
+                perf_counter() - start)
 
     def _safe_error(self, status: int, message: str) -> None:
         try:
@@ -205,30 +267,42 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
     def _route(self, method: str, path: str):
+        """Resolve ``(handler, route_template)`` for a request, or None.
+
+        The template (``/v1/jobs/{id}`` — id elided) doubles as the
+        ``endpoint`` metric label, so per-route latency/status series never
+        explode in cardinality with job ids.
+        """
         parts = [p for p in path.split("/") if p]
         if not parts or parts[0] != "v1":
             return None
         parts = parts[1:]
         if method == "GET":
             if parts == ["health"]:
-                return self._get_health
+                return self._get_health, "/v1/health"
             if parts == ["status"]:
-                return self._get_status
+                return self._get_status, "/v1/status"
+            if parts == ["metrics"]:
+                return self._get_metrics, "/v1/metrics"
             if parts == ["jobs"]:
-                return self._get_jobs
+                return self._get_jobs, "/v1/jobs"
             if len(parts) == 2 and parts[0] == "jobs":
-                return lambda params: self._get_job(parts[1], params)
+                return (lambda params: self._get_job(parts[1], params),
+                        "/v1/jobs/{id}")
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "wait":
-                return lambda params: self._get_wait(parts[1], params)
+                return (lambda params: self._get_wait(parts[1], params),
+                        "/v1/jobs/{id}/wait")
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
-                return lambda params: self._get_events(parts[1], params)
+                return (lambda params: self._get_events(parts[1], params),
+                        "/v1/jobs/{id}/events")
         elif method == "POST":
             if parts == ["jobs"]:
-                return self._post_submit
+                return self._post_submit, "/v1/jobs"
             if parts == ["resume"]:
-                return self._post_resume
+                return self._post_resume, "/v1/resume"
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-                return lambda params: self._post_cancel(parts[1], params)
+                return (lambda params: self._post_cancel(parts[1], params),
+                        "/v1/jobs/{id}/cancel")
         return None
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -248,6 +322,11 @@ class _Handler(BaseHTTPRequestHandler):
         payload["protocol"] = PROTOCOL_VERSION
         self._reply(200, payload)
 
+    def _get_metrics(self, params: Dict[str, str]) -> None:
+        """The process-wide metrics registry in Prometheus text format."""
+        body = _metrics.REGISTRY.render().encode("utf-8")
+        self._reply_bytes(200, body, METRICS_CONTENT_TYPE)
+
     def _get_jobs(self, params: Dict[str, str]) -> None:
         self._reply(200, {"jobs": self.remote.tune_server.jobs()})
 
@@ -260,13 +339,19 @@ class _Handler(BaseHTTPRequestHandler):
         seed = kwargs.pop("seed", None)
         if seed is not None:
             kwargs["rng"] = new_rng(seed)
-        job_id = self.remote.tune_server.submit(**kwargs)
-        self._reply(200, {"job_id": job_id, "protocol": PROTOCOL_VERSION})
+        # The request's correlation id becomes the job's trace id: every
+        # event the job publishes carries it, end to end.
+        job_id = self.remote.tune_server.submit(trace_id=self._request_id,
+                                                **kwargs)
+        self._reply(200, {"job_id": job_id, "trace_id": self._request_id,
+                          "protocol": PROTOCOL_VERSION})
 
     def _post_resume(self, params: Dict[str, str]) -> None:
         kwargs = parse_resume(self._read_body())
-        job_id = self.remote.tune_server.resume(**kwargs)
-        self._reply(200, {"job_id": job_id, "protocol": PROTOCOL_VERSION})
+        job_id = self.remote.tune_server.resume(trace_id=self._request_id,
+                                                **kwargs)
+        self._reply(200, {"job_id": job_id, "trace_id": self._request_id,
+                          "protocol": PROTOCOL_VERSION})
 
     def _post_cancel(self, segment: str, params: Dict[str, str]) -> None:
         job_id = self._job_id(segment)
@@ -323,9 +408,12 @@ class _Handler(BaseHTTPRequestHandler):
             # the TCP window fills, writes block — bound them so the wedged
             # connection is torn down and the subscription released.
             self.connection.settimeout(STREAM_SEND_TIMEOUT)
+            self._last_status = 200
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("Cache-Control", "no-store")
+            if self._request_id:
+                self.send_header("X-Request-Id", self._request_id)
             # Close-delimited stream: its length is unknowable up front.
             self.send_header("Connection", "close")
             self.end_headers()

@@ -49,6 +49,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.automl import metrics as _metrics
 from repro.automl.events import TrialKilled, TrialReport
 from repro.automl.executors import (
     STARVATION_GRACE_FACTOR,
@@ -83,6 +84,20 @@ __all__ = [
 Objective = Callable[[Trial], float]
 CheckpointFn = Optional[Callable[[], None]]
 SchedulerLike = Union[None, str, "TrialScheduler"]
+
+# Tick work (telemetry drain, pruning, deadline checks, refill) — the wait
+# itself is excluded, so the histogram shows scheduling cost, not idleness.
+_TICK_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_scheduler_tick_seconds",
+    "Scheduler tick work duration (drain, prune, deadlines, refill), "
+    "excluding the inter-tick wait.", labels=("scheduler",))
+_TICKS_TOTAL = _metrics.REGISTRY.counter(
+    "anttune_scheduler_ticks_total", "Scheduler ticks run.",
+    labels=("scheduler",))
+_SLOTS_BUSY = _metrics.REGISTRY.gauge(
+    "anttune_scheduler_slots_busy",
+    "In-flight trials occupying executor slots (last tick's view).",
+    labels=("scheduler",))
 
 
 class TelemetryMonitor:
@@ -224,15 +239,16 @@ class RoundScheduler(TrialScheduler):
         names = list(worker_names)
         config = study.config
         monitor = TelemetryMonitor(study, executor)
+        tick_seconds = _TICK_SECONDS.labels(scheduler=self.name)
+        ticks_total = _TICKS_TOTAL.labels(scheduler=self.name)
+        slots_busy = _SLOTS_BUSY.labels(scheduler=self.name)
         start_time = time.perf_counter()
         hard_deadline = (None if config.total_time_limit is None
                          else start_time + config.total_time_limit)
         while (remaining > 0 and not study.stop_requested
                and not study._total_time_exceeded(start_time)):
             batch_size = min(executor.n_workers, remaining)
-            with study._lock:
-                asked = [study.algorithm.ask(study.space, study.trials, config.maximize)
-                         for _ in range(batch_size)]
+            asked = [study.ask_params() for _ in range(batch_size)]
             # One entry per asked config: retries mutate in place, and
             # ``charged`` marks configs that reached a budget-consuming
             # outcome — a config the time limit abandons before it ever ran
@@ -260,7 +276,12 @@ class RoundScheduler(TrialScheduler):
                     study._publish_started(trial)
 
                 def tick() -> bool:
+                    tick_start = time.perf_counter()
                     monitor.observe(batch)
+                    slots_busy.set(sum(1 for t in batch
+                                       if not t.is_finished))
+                    ticks_total.inc()
+                    tick_seconds.observe(time.perf_counter() - tick_start)
                     return study.stop_requested
 
                 executor.run_batch(objective, batch, config.trial_time_limit,
@@ -309,6 +330,7 @@ class RoundScheduler(TrialScheduler):
             remaining -= batch_size
             if checkpoint_fn is not None:
                 checkpoint_fn()
+        slots_busy.set(0)
 
 
 @dataclass
@@ -345,6 +367,9 @@ class AsyncScheduler(TrialScheduler):
         names = list(worker_names)
         config = study.config
         monitor = TelemetryMonitor(study, executor)
+        tick_seconds = _TICK_SECONDS.labels(scheduler=self.name)
+        ticks_total = _TICKS_TOTAL.labels(scheduler=self.name)
+        slots_busy = _SLOTS_BUSY.labels(scheduler=self.name)
         start_time = time.perf_counter()
         in_flight: Dict["Future[Trial]", _Flight] = {}
         # Configurations killed by preemption, waiting to re-run.  They go
@@ -378,10 +403,7 @@ class AsyncScheduler(TrialScheduler):
                     continue
                 if submitted >= remaining:
                     break
-                with study._lock:
-                    params = study.algorithm.ask(study.space, study.trials,
-                                                 config.maximize)
-                launch(params, retries=0)
+                launch(study.ask_params(), retries=0)
                 submitted += 1
 
         def settle(flight: _Flight) -> None:
@@ -467,6 +489,7 @@ class AsyncScheduler(TrialScheduler):
             timeout = TICK_INTERVAL if timeout is None else min(timeout, TICK_INTERVAL)
             done, _ = wait(list(in_flight), timeout=timeout,
                            return_when=FIRST_COMPLETED)
+            tick_start = time.perf_counter()
             for future in done:
                 flight = in_flight.pop(future)
                 exc = future.exception()
@@ -518,6 +541,10 @@ class AsyncScheduler(TrialScheduler):
                 settle(flight)
             monitor.observe([f.trial for f in in_flight.values()])
             refill()
+            slots_busy.set(len(in_flight))
+            ticks_total.inc()
+            tick_seconds.observe(time.perf_counter() - tick_start)
+        slots_busy.set(0)
 
 
 # --------------------------------------------------------------------------- #

@@ -56,6 +56,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.automl import metrics as _metrics
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.events import (
     Event,
@@ -123,6 +124,11 @@ class TuneJob:
             optionally ``algorithm``/``pruner``) recorded in the event log so
             a restarted server can re-import the code and auto-resume the
             job; None for jobs submitted with bare callables.
+        trace_id: the correlation id stamped onto every event this job
+            publishes (caller-supplied via ``X-Request-Id`` on the remote
+            path, otherwise generated at enqueue).  Persisted in the event
+            log's metadata so a crash-recovered resume continues the same
+            trace.
         state: current :class:`JobState`.
         error: failure description once ``FAILED``.
     """
@@ -136,6 +142,7 @@ class TuneJob:
     study_name: Optional[str] = None
     checkpoint_path: Optional[str] = None
     refs: Optional[Dict[str, str]] = None
+    trace_id: Optional[str] = None
     state: JobState = JobState.QUEUED
     error: Optional[str] = None
     cancel_requested: bool = False
@@ -273,7 +280,8 @@ class AntTuneServer:
                study_name: Optional[str] = None,
                checkpoint_path: Optional[str] = None,
                priority: float = 1.0, preempt: bool = False,
-               refs: Optional[Dict[str, str]] = None) -> int:
+               refs: Optional[Dict[str, str]] = None,
+               trace_id: Optional[str] = None) -> int:
         """Enqueue a new tuning job and return its id immediately.
 
         The job starts as soon as a dispatcher slot frees up; use
@@ -306,6 +314,9 @@ class AntTuneServer:
                 log so :meth:`recover` can auto-resume the job after a
                 server crash; the remote layer fills this in from the
                 request body automatically.
+            trace_id: explicit correlation id for this job's event stream
+                (the remote layer passes the request's ``X-Request-Id``);
+                a fresh id is generated when omitted.
 
         Returns:
             The new job's id.
@@ -322,13 +333,14 @@ class AntTuneServer:
                       rng=new_rng(rng if rng is not None else _job_seed(job_id)))
         return self._enqueue(job_id, study, objective, study_name,
                              checkpoint_path, priority=priority,
-                             preempt=preempt, refs=refs)
+                             preempt=preempt, refs=refs, trace_id=trace_id)
 
     def resume(self, study_name: str, space: SearchSpace, objective: Objective,
                algorithm: Optional[SearchAlgorithm] = None,
                pruner: Optional[Pruner] = None,
                priority: float = 1.0, preempt: bool = False,
-               refs: Optional[Dict[str, str]] = None) -> int:
+               refs: Optional[Dict[str, str]] = None,
+               trace_id: Optional[str] = None) -> int:
         """Reload a persisted study from storage and enqueue its remainder.
 
         The study resumes with only the trial budget it had left when last
@@ -349,6 +361,8 @@ class AntTuneServer:
                 :meth:`submit`).
             refs: optional ``module:attr`` code references recorded for
                 crash auto-resume (see :meth:`submit`).
+            trace_id: explicit correlation id for the resumed stream (see
+                :meth:`submit`).
 
         Returns:
             The new job's id.
@@ -364,13 +378,14 @@ class AntTuneServer:
         job_id = next(self._next_job_id)
         return self._enqueue(job_id, study, objective, study_name, None,
                              priority=priority, preempt=preempt,
-                             allow_stored=True, refs=refs)
+                             allow_stored=True, refs=refs, trace_id=trace_id)
 
     def _enqueue(self, job_id: int, study: Study, objective: Objective,
                  study_name: Optional[str], checkpoint_path: Optional[str],
                  priority: float = 1.0, preempt: bool = False,
                  allow_stored: bool = False,
-                 refs: Optional[Dict[str, str]] = None) -> int:
+                 refs: Optional[Dict[str, str]] = None,
+                 trace_id: Optional[str] = None) -> int:
         if priority <= 0:
             raise ValueError("priority must be > 0")
         workers = [f"worker-{i}" for i in range(self.num_workers)]
@@ -378,7 +393,8 @@ class AntTuneServer:
                       workers=workers, priority=float(priority),
                       preempt=preempt,
                       study_name=study_name or f"job-{job_id}-{self._instance_id}",
-                      checkpoint_path=checkpoint_path, refs=refs)
+                      checkpoint_path=checkpoint_path, refs=refs,
+                      trace_id=trace_id or _metrics.new_trace_id())
         if (self.storage is not None and study_name is not None
                 and not allow_stored and self.storage.study_exists(study_name)):
             # A plain submit must not upsert over a persisted study's history;
@@ -399,7 +415,7 @@ class AntTuneServer:
             self._jobs[job_id] = job
         # Every lifecycle event the study (and its scheduler) publishes is
         # stamped with this job's id and fanned out on the server's bus.
-        study._event_sink = self._event_sink_for(job_id)
+        study._event_sink = self._event_sink_for(job_id, job.trace_id)
         log = self.event_log
         if log is not None:
             # Durable mirror of the stream: meta first (so recovery can map
@@ -409,7 +425,8 @@ class AntTuneServer:
             # delivered.  Registered before the QUEUED publish below: the
             # log observes the stream from its very first event.
             log.open_job(job_id, job.study_name, refs=job.refs,
-                         priority=job.priority, preempt=job.preempt)
+                         priority=job.priority, preempt=job.preempt,
+                         trace_id=job.trace_id)
             self._bus.subscribe(job_id, callback=log.append)
         if self.storage is not None:
             # Trial history persists off the event stream: terminal trials
@@ -452,11 +469,18 @@ class AntTuneServer:
     # ------------------------------------------------------------------ #
     # Event stream plumbing
     # ------------------------------------------------------------------ #
-    def _event_sink_for(self, job_id: int) -> Callable[[Event], None]:
-        """The per-job sink a study publishes through: stamp job id, fan out."""
+    def _event_sink_for(self, job_id: int,
+                        trace_id: Optional[str] = None) -> Callable[[Event], None]:
+        """The per-job sink a study publishes through: stamp ids, fan out.
+
+        Every event is stamped with both the job id and the job's trace id,
+        so the whole lifecycle — across subscribers, the durable log, and a
+        crash-recovered resume — correlates under one trace.
+        """
         bus = self._bus
         def sink(event: Event) -> None:
-            bus.publish(dataclasses.replace(event, job_id=job_id))
+            bus.publish(dataclasses.replace(event, job_id=job_id,
+                                            trace_id=trace_id))
         return sink
 
     def _publish_job_state(self, job: TuneJob,
@@ -464,7 +488,7 @@ class AntTuneServer:
         """Publish the job's current state onto its event stream."""
         self._bus.publish(JobStateChanged(
             state=job.state.value, error=job.error, terminal=terminal,
-            job_id=job.job_id))
+            job_id=job.job_id, trace_id=job.trace_id))
 
     def _start_storage_writer(self, job: TuneJob) -> None:
         """Persist this job's event stream from a background writer thread.
@@ -723,10 +747,12 @@ class AntTuneServer:
                                         pruner=pruner)
         self._bus.prime(job_id, last_seq + 1)
         string_refs = {key: str(value) for key, value in refs.items()}
+        trace_id = meta.get("trace_id")
         self._enqueue(job_id, study, objective, name, None,
                       priority=float(meta.get("priority", 1.0)),
                       preempt=bool(meta.get("preempt", False)),
-                      allow_stored=True, refs=string_refs)
+                      allow_stored=True, refs=string_refs,
+                      trace_id=trace_id if isinstance(trace_id, str) else None)
 
     def _finalise_recovered(self, job_id: int, name: str, state: str,
                             error: Optional[str], next_seq: int,
@@ -740,8 +766,10 @@ class AntTuneServer:
         """
         self._bus.prime(job_id, next_seq)
         self._bus.subscribe(job_id, callback=self.event_log.append)
-        self._bus.publish(JobStateChanged(state=state, error=error,
-                                          terminal=True, job_id=job_id))
+        trace = meta.get("trace_id")
+        self._bus.publish(JobStateChanged(
+            state=state, error=error, terminal=True, job_id=job_id,
+            trace_id=trace if isinstance(trace, str) else None))
         try:
             self.storage.set_status(name, state)
         except TrialError:  # pragma: no cover - raced delete
@@ -762,7 +790,8 @@ class AntTuneServer:
         """
         self._bus.prime(job_id, last.seq)
         self._bus.publish(JobStateChanged(state=last.state, error=last.error,
-                                          terminal=True, job_id=job_id))
+                                          terminal=True, job_id=job_id,
+                                          trace_id=last.trace_id))
         self._recovered[job_id] = self._recovered_snapshot(
             job_id, name, last.state, last.error, meta, action="terminal")
 
@@ -784,8 +813,10 @@ class AntTuneServer:
             "preempt": bool(meta.get("preempt", False)),
             "workers": [],
             "study_name": name,
+            "trace_id": (meta.get("trace_id")
+                         if isinstance(meta.get("trace_id"), str) else None),
             "recovered": action,
-            "telemetry": {"transport_dropped": 0, "event_queue_dropped": 0},
+            "telemetry": self._telemetry_snapshot(job_id),
         }
 
     def _run_job(self, job: TuneJob) -> None:
@@ -1068,7 +1099,8 @@ class AntTuneServer:
             A dict with ``job_id``, ``state``, ``finished``, ``error``,
             ``num_trials``, per-state ``states`` counts, ``best_value``
             (COMPLETED trials only), ``priority``, ``workers``,
-            ``study_name`` and a ``telemetry`` sub-dict making backpressure
+            ``study_name``, ``trace_id`` (the correlation id stamped on the
+            job's events) and a ``telemetry`` sub-dict making backpressure
             observable end to end: ``transport_dropped`` (report records
             shed by the shared executor's telemetry channel — server-wide,
             the pool is shared) and ``event_queue_dropped`` (events shed by
@@ -1109,10 +1141,8 @@ class AntTuneServer:
             "preempt": job.preempt,
             "workers": list(job.workers),
             "study_name": job.study_name,
-            "telemetry": {
-                "transport_dropped": self._transport_dropped(),
-                "event_queue_dropped": self._bus.dropped(job_id),
-            },
+            "trace_id": job.trace_id,
+            "telemetry": self._telemetry_snapshot(job_id),
         }
 
     def _transport_dropped(self) -> int:
@@ -1120,6 +1150,26 @@ class AntTuneServer:
         with self._init_lock:
             executor = self._executor
         return 0 if executor is None else executor.telemetry_dropped
+
+    def _telemetry_snapshot(self, job_id: Optional[int] = None) -> Dict[str, int]:
+        """The one backpressure dict every status shape embeds.
+
+        ``transport_dropped`` is server-wide either way (the worker pool is
+        shared); ``event_queue_dropped`` is scoped to ``job_id`` when given,
+        or summed across every job's subscriber queues otherwise.  Both
+        counters are cumulative for the process lifetime — they survive pool
+        rebuilds and bus re-priming — and are also exported as the
+        ``anttune_transport_dropped_total`` / ``anttune_event_queue_dropped_total``
+        metric families.  The dict's keys are a **deprecated alias**: new
+        consumers should scrape ``/v1/metrics`` or read
+        ``server_status()["metrics"]`` instead.
+        """
+        dropped = (self._bus.dropped(job_id) if job_id is not None
+                   else self._bus.dropped_total())
+        return {
+            "transport_dropped": self._transport_dropped(),
+            "event_queue_dropped": dropped,
+        }
 
     def jobs(self) -> List[Dict[str, object]]:
         """Status snapshots of every job on this server, oldest first.
@@ -1137,11 +1187,15 @@ class AntTuneServer:
         """A server-wide snapshot: configuration, job counts, backpressure.
 
         This is what the remote layer serves as ``GET /v1/status``: pool
-        sizing, how many jobs are in each lifecycle state, and the telemetry
-        drop counters (``transport_dropped`` report records shed by the
-        shared-memory ring, ``event_queue_dropped`` events shed by lagging
-        subscriber queues across all jobs), so backpressure is observable
-        end to end.
+        sizing, how many jobs are in each lifecycle state, and a structured
+        ``metrics`` section — the full
+        :meth:`~repro.automl.metrics.MetricsRegistry.snapshot` of every
+        instrumented hot path (scheduler ticks, ask/tell latency, trial
+        queue-wait/run times, event publish/append/fsync timings, drop
+        counters).  The flat ``telemetry`` sub-dict (``transport_dropped``,
+        ``event_queue_dropped``) is kept as a deprecated alias of the
+        corresponding counter families; prefer ``metrics`` or the
+        ``GET /v1/metrics`` Prometheus exposition.
         """
         with self._jobs_lock:
             jobs = list(self._jobs.values())
@@ -1160,10 +1214,10 @@ class AntTuneServer:
             "job_states": job_states,
             "storage": None if self.storage is None else self.storage.path,
             "event_log": None if log is None else log.stats(),
-            "telemetry": {
-                "transport_dropped": self._transport_dropped(),
-                "event_queue_dropped": self._bus.dropped_total(),
-            },
+            # Deprecated alias kept for older clients; the same counters (and
+            # much more) live in the structured "metrics" section below.
+            "telemetry": self._telemetry_snapshot(),
+            "metrics": _metrics.REGISTRY.snapshot(),
         }
 
     # ------------------------------------------------------------------ #

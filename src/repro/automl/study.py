@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.automl import metrics as _metrics
 from repro.automl.algorithms.base import SearchAlgorithm, completed_trials
 from repro.automl.algorithms.racos import RACOS
 from repro.automl.events import TrialEvent, TrialFinished, TrialStarted
@@ -62,6 +63,21 @@ Objective = Callable[[Trial], float]
 # v1: config, budget and trial history only.
 # v2: + algorithm internal state and RNG streams for bit-identical resume.
 CHECKPOINT_VERSION = 2
+
+# ask/tell run under the study lock on the scheduling path: their latency is
+# exactly the serialised portion every parallel run pays per trial.
+_ASK_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_ask_seconds",
+    "Search-algorithm ask latency (configuration proposal), by algorithm.",
+    labels=("algorithm",))
+_TELL_SECONDS = _metrics.REGISTRY.histogram(
+    "anttune_tell_seconds",
+    "Search-algorithm tell latency (result ingestion), by algorithm.",
+    labels=("algorithm",))
+# Synthesised per-trial span (the objective's runtime, wherever it ran).
+_TRIAL_RUN_SPAN = _metrics.REGISTRY.histogram(
+    "anttune_span_seconds", "Duration of named trace spans.",
+    labels=("span",)).labels(span="trial.run")
 
 
 @dataclass(frozen=True)
@@ -230,15 +246,38 @@ class Study:
         if sink is not None:
             sink(event)
 
+    def ask_params(self) -> Dict[str, object]:
+        """Ask the algorithm for the next configuration (thread-safe, timed).
+
+        The single ask entry point for every scheduling mode: the proposal is
+        made under the study lock (sequential algorithms work unchanged) and
+        its latency lands in ``anttune_ask_seconds{algorithm=...}``.
+        """
+        with self._lock:
+            start = time.perf_counter()
+            params = self.algorithm.ask(self.space, self.trials,
+                                        self.config.maximize)
+            _ASK_SECONDS.labels(algorithm=self.algorithm.name).observe(
+                time.perf_counter() - start)
+            return params
+
     def tell(self, trial: Trial) -> None:
         """Feed a finished trial back into the algorithm (thread-safe).
 
         Also publishes the trial's :class:`~repro.automl.events.TrialFinished`
         event (with the full record) — every terminal trial reaches the event
-        stream through this single point, on every scheduler.
+        stream through this single point, on every scheduler.  Tell latency
+        lands in ``anttune_tell_seconds{algorithm=...}``, and the trial's
+        runtime is recorded as a ``trial.run`` span
+        (``anttune_span_seconds{span="trial.run"}``).
         """
         with self._lock:
+            start = time.perf_counter()
             self.algorithm.tell(trial)
+            _TELL_SECONDS.labels(algorithm=self.algorithm.name).observe(
+                time.perf_counter() - start)
+        if trial.duration_seconds:
+            _TRIAL_RUN_SPAN.observe(trial.duration_seconds)
         with trial._state_lock:
             record = trial.as_record()
         self.publish_event(TrialFinished(
@@ -252,7 +291,7 @@ class Study:
         for _ in range(remaining):
             if self.stop_requested or self._total_time_exceeded(start_time):
                 break
-            params = self.algorithm.ask(self.space, self.trials, self.config.maximize)
+            params = self.ask_params()
             trial = self._run_single(objective, params, worker_name)
             retries = 0
             while trial.state == TrialState.FAILED and retries < self.config.max_retries:

@@ -189,6 +189,41 @@ class TestRecoverStateMachine:
             terminal = server.event_log.last_event(7)
             assert isinstance(terminal, JobStateChanged) and terminal.terminal
 
+    def test_resumed_job_continues_the_same_trace(self, tmp_path,
+                                                  helper_module):
+        """The pre-crash trace id survives recovery: resumed events carry it.
+
+        The trace id is persisted in the event log's meta.json at submit;
+        recover() reads it back and stamps it on every post-restart event,
+        so a trace viewer sees one continuous trace across the crash.
+        """
+        db = str(tmp_path / "svc.db")
+        refs = {"space": f"{helper_module}:SPACE",
+                "objective": f"{helper_module}:objective"}
+        storage = StudyStorage(db)
+        study = Study(make_space(), config=StudyConfig(n_trials=2))
+        storage.save_study("traced", study, status="running")
+        log = storage.event_log
+        log.open_job(9, "traced", refs=refs, trace_id="trace-pre-crash")
+        bus = EventBus()
+        bus.subscribe(9, callback=log.append)
+        bus.publish(JobStateChanged(state="running", job_id=9,
+                                    trace_id="trace-pre-crash"))
+        crash_seq = log.last_seq(9)
+        storage.close()
+        with AntTuneServer(num_workers=2, backend="thread",
+                           storage=db) as server:
+            summary = server.recover()
+            assert summary["resumed"] == [
+                {"job_id": 9, "study_name": "traced"}]
+            server.wait(9, timeout=30.0)
+            assert server.status(9)["trace_id"] == "trace-pre-crash"
+            post_crash = [event for event in server.event_log.read(9)
+                          if event.seq > crash_seq]
+            assert post_crash
+            assert {event.trace_id for event in post_crash} == \
+                {"trace-pre-crash"}
+
     def test_interrupted_job_without_refs_finalises_failed(self, tmp_path):
         db = str(tmp_path / "svc.db")
         crash_seq = craft_crash(db, 3, "refless")
