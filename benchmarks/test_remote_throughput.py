@@ -19,12 +19,14 @@ import time
 from common import save_result
 
 from repro.automl.events import JobStateChanged
-from repro.automl.remote import AntTuneClient, RemoteTuneServer
+from repro.automl.remote import AntTuneClient, RemoteRouterServer, RemoteTuneServer
 from repro.experiments import format_table
 
 N_CLIENTS = 4
 N_TRIALS = 6          # per client job
 REPORTS_PER_TRIAL = 8
+
+N_ROUTER_CLIENTS = 8  # router fan-out benchmark: clients across 2 backends
 
 # Importable by the server through the wire's module:attr references
 # (benchmarks/conftest.py puts this directory on sys.path).
@@ -104,3 +106,69 @@ def test_concurrent_clients_streaming_throughput():
     # this; the assert only guards against pathological regressions.
     assert events_per_sec > 50, (
         f"remote event streaming collapsed to {events_per_sec:.1f} events/s")
+
+
+def test_router_fanout_streaming_throughput():
+    """Same drive, but through the fleet router over two backend servers.
+
+    Measures the cost of the extra hop: every submit is hashed to one of
+    two thread-backend servers and every event stream is proxied through
+    the router's journal, so gapless seqs here prove the proxy re-numbers
+    without dropping.
+    """
+    results: dict = {}
+    errors: list = []
+    with RemoteTuneServer(num_workers=4, max_concurrent_jobs=N_ROUTER_CLIENTS,
+                          backend="thread") as backend_a, \
+         RemoteTuneServer(num_workers=4, max_concurrent_jobs=N_ROUTER_CLIENTS,
+                          backend="thread") as backend_b, \
+         RemoteRouterServer(backends=[backend_a.url, backend_b.url]) as router:
+        threads = [threading.Thread(target=_drive_one_client,
+                                    args=(router.url, tag, results, errors))
+                   for tag in range(N_ROUTER_CLIENTS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - start
+        placements = [router.router.status(job_id).get("backend")
+                      for job_id, _, _ in results.values()]
+
+    assert not errors, errors
+    assert len(results) == N_ROUTER_CLIENTS
+    # Consistent hashing over distinct study names should use both backends.
+    assert len(set(placements)) == 2, placements
+
+    total_events = 0
+    for tag, (job_id, events, best) in sorted(results.items()):
+        assert best.value is not None
+        seqs = [event.seq for event in events]
+        assert seqs == list(range(len(events))), (
+            f"client {tag}: routed stream has gaps or duplicates")
+        assert isinstance(events[-1], JobStateChanged) and events[-1].terminal
+        assert all(event.job_id == job_id for event in events)
+        total_events += len(events)
+
+    events_per_sec = total_events / elapsed
+    trials_per_sec = (N_ROUTER_CLIENTS * N_TRIALS) / elapsed
+    rows = [{
+        "clients": N_ROUTER_CLIENTS,
+        "backends": 2,
+        "trials": N_ROUTER_CLIENTS * N_TRIALS,
+        "events_streamed": total_events,
+        "seconds": round(elapsed, 3),
+        "events_per_sec": round(events_per_sec, 1),
+        "trials_per_sec": round(trials_per_sec, 1),
+    }]
+    text = format_table(
+        rows, title=(f"{N_ROUTER_CLIENTS} concurrent SDK clients vs one "
+                     f"router over 2 tune servers ({N_TRIALS} trials x "
+                     f"{REPORTS_PER_TRIAL} reports each, proxied NDJSON "
+                     f"streams)"))
+    save_result("remote_router_throughput", text)
+
+    # Same pathological-regression floor as the single-server benchmark:
+    # the extra hop must not collapse streaming throughput.
+    assert events_per_sec > 50, (
+        f"routed event streaming collapsed to {events_per_sec:.1f} events/s")

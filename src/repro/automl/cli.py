@@ -27,6 +27,11 @@ view onto that file — and, with ``--server URL``, onto a *live*
         --space mypkg.search:SPACE --objective mypkg.search:objective
     python -m repro.automl.cli cancel 3 --server http://127.0.0.1:8123
 
+    # the fleet tier: a router in front of many servers, pull workers behind
+    python -m repro.automl.cli route --port 8123 \
+        --backend http://127.0.0.1:8124 --backend http://127.0.0.1:8125
+    python -m repro.automl.cli work http://127.0.0.1:8124 http://127.0.0.1:8125
+
 ``list`` and ``show`` are read-only (WAL mode lets them run while a server
 checkpoints into the same file).  ``resume`` re-runs a study's remaining
 trial budget: because only *state* is persisted — never code — the search
@@ -345,11 +350,27 @@ def _local_metrics_lines(args: argparse.Namespace,
 
 def _cmd_metrics(args: argparse.Namespace,
                  out: Callable[[str], None]) -> int:
-    """Render metrics once, or repeatedly with ``--watch`` (see module docs)."""
+    """Render metrics once, or repeatedly with ``--watch`` (see module docs).
+
+    In watch mode an unreachable ``--server`` (restarting, briefly
+    partitioned) is survived: one warning line per outage, then the loop
+    keeps polling and resumes rendering when the server returns.  One-shot
+    mode still fails loudly.
+    """
     remaining = args.count
+    warned = False
     while True:
         if args.server:
-            out(_remote_client(args).metrics().rstrip("\n"))
+            try:
+                out(_remote_client(args).metrics().rstrip("\n"))
+                warned = False
+            except TrialError as exc:
+                if args.watch is None:
+                    raise  # one-shot: main() renders this as an error exit
+                if not warned:
+                    out(f"warning: cannot fetch metrics from {args.server} "
+                        f"({exc}); retrying every {args.watch}s")
+                    warned = True
         else:
             code = _local_metrics_lines(args, out)
             if code != 0:
@@ -375,10 +396,14 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out("error: --recover needs a file-backed --db (the durable event "
             "log lives next to it)")
         return 2
+    if args.lease_seconds is not None and args.backend != "ticket":
+        out("error: --lease-seconds only applies to --backend ticket")
+        return 2
     remote = RemoteTuneServer(
         host=args.host, port=args.port, token=args.token,
         num_workers=args.workers, max_concurrent_jobs=args.max_jobs,
         backend=args.backend, scheduler=args.scheduler,
+        lease_seconds=args.lease_seconds,
         storage=args.db if args.db != ":memory:" else None,
         recover=args.recover)
     if remote.recovery is not None:
@@ -407,6 +432,51 @@ def _cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out("shutting down")
     finally:
         remote.stop()
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Serve the fleet router over HTTP in front of backend tune servers."""
+    from repro.automl.remote.router import RemoteRouterServer
+
+    if not args.backend:
+        out("error: route needs at least one --backend URL")
+        return 2
+    remote = RemoteRouterServer(
+        args.backend, host=args.host, port=args.port, token=args.token,
+        replicas=args.replicas, health_interval=args.health_interval,
+        health_timeout=args.health_timeout)
+    remote.start()
+    out(f"routing AntTune on {remote.url} across {len(args.backend)} "
+        f"backend(s): {' '.join(args.backend)}")
+    try:
+        if args.run_seconds is not None:
+            time.sleep(args.run_seconds)
+        else:  # pragma: no cover - interactive mode, exercised manually
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        out("shutting down")
+    finally:
+        remote.stop()
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Run a pull worker against one or more ``--backend ticket`` servers."""
+    from repro.automl.remote.worker import TuneWorker
+
+    worker = TuneWorker(args.servers, name=args.name, token=args.token,
+                        poll_interval=args.poll_interval)
+    out(f"worker {args.name!r} pulling tickets from {len(args.servers)} "
+        f"server(s): {' '.join(args.servers)}")
+    try:
+        worker.run(run_seconds=args.run_seconds,
+                   max_tickets=args.max_tickets)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        worker.stop()
+    out(f"worker {args.name!r} done: completed={worker.completed} "
+        f"lost={worker.lost}")
     return 0
 
 
@@ -574,8 +644,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="jobs advancing concurrently "
                             "(default: %(default)s)")
     serve.add_argument("--backend", default="auto",
-                       choices=("auto", "sync", "thread", "process"),
-                       help="executor backend (default: %(default)s)")
+                       choices=("auto", "sync", "thread", "process",
+                                "ticket"),
+                       help="executor backend; 'ticket' publishes trials on "
+                            "a board for pull workers ('work' command) "
+                            "instead of running them locally "
+                            "(default: %(default)s)")
+    serve.add_argument("--lease-seconds", type=float, default=None,
+                       help="ticket lease duration before an unheard-from "
+                            "worker's trial is requeued "
+                            "(--backend ticket only; default: 15)")
     serve.add_argument("--scheduler", default=None,
                        choices=("round", "async"),
                        help="trial scheduling discipline "
@@ -590,6 +668,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="before serving, reconcile the durable event log "
                             "with storage: auto-resume or finalise jobs a "
                             "previous process left RUNNING")
+
+    route = sub.add_parser(
+        "route", help="serve a fleet router: fan submits across backend "
+                      "tune servers, heal their streams, migrate jobs off "
+                      "dead backends")
+    route.add_argument("--backend", action="append", metavar="URL",
+                       help="a backend tune server's base URL (repeat for "
+                            "each backend; at least one required)")
+    route.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    route.add_argument("--port", type=int, default=8123,
+                       help="bind port; 0 picks a free one "
+                            "(default: %(default)s)")
+    route.add_argument("--token", default=None,
+                       help="bearer token required of clients and forwarded "
+                            "to every backend (a fleet shares one token)")
+    route.add_argument("--replicas", type=int, default=64,
+                       help="virtual points per backend on the placement "
+                            "ring (default: %(default)s)")
+    route.add_argument("--health-interval", type=float, default=0.5,
+                       help="seconds between backend health sweeps "
+                            "(default: %(default)s)")
+    route.add_argument("--health-timeout", type=float, default=2.0,
+                       help="per-probe timeout before a sweep counts a "
+                            "failure (default: %(default)s)")
+    route.add_argument("--run-seconds", type=float, default=None,
+                       help="route for this long then exit "
+                            "(default: until interrupted; mainly for tests)")
+
+    work = sub.add_parser(
+        "work", help="run a pull worker: claim trial tickets from "
+                     "'serve --backend ticket' servers and execute them here")
+    work.add_argument("servers", nargs="+", metavar="URL",
+                      help="base URLs of the tune servers to poll "
+                           "(round-robin)")
+    work.add_argument("--name", default="pull-worker",
+                      help="worker label stamped into claimed trials "
+                           "(default: %(default)s)")
+    work.add_argument("--token", default=None,
+                      help="bearer token shared with the servers")
+    work.add_argument("--poll-interval", type=float, default=0.2,
+                      help="sleep between claim sweeps that found no work "
+                           "(default: %(default)s)")
+    work.add_argument("--run-seconds", type=float, default=None,
+                      help="work for this long then exit "
+                           "(default: until interrupted)")
+    work.add_argument("--max-tickets", type=int, default=None,
+                      help="exit after completing this many tickets "
+                           "(default: unbounded)")
 
     metrics_cmd = sub.add_parser(
         "metrics", help="print service metrics: a live server's Prometheus "
@@ -651,6 +778,10 @@ def main(argv: Optional[Sequence[str]] = None,
     if args.command == "serve":
         # serve creates the storage file if missing (a fresh service).
         return _cmd_serve(args, out)
+    if args.command == "route":
+        return _cmd_route(args, out)
+    if args.command == "work":
+        return _cmd_work(args, out)
     if args.command == "log":
         # log reads the events directory next to --db, not the db itself.
         return _cmd_log(args, out)

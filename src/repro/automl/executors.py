@@ -91,7 +91,7 @@ __all__ = [
     "make_executor",
 ]
 
-EXECUTOR_BACKENDS = ("auto", "sync", "thread", "process")
+EXECUTOR_BACKENDS = ("auto", "sync", "thread", "process", "ticket")
 
 # A trial that has not started is waiting on the pool, which may be serving
 # another owner (a co-tenant job): its own clock hasn't begun, so it must not
@@ -960,30 +960,52 @@ class ProcessPoolTrialExecutor(TrialExecutor):
 
 
 def make_executor(n_workers: int, backend: str = "auto",
-                  base_seed: int = 0) -> TrialExecutor:
+                  base_seed: int = 0,
+                  lease_seconds: Optional[float] = None) -> TrialExecutor:
     """Build the executor for ``n_workers`` workers on the requested backend.
 
     ``auto`` picks the cheapest sufficient backend: inline execution for one
     worker, a thread pool otherwise.  ``process`` builds a
     :class:`ProcessPoolTrialExecutor` (picklable objectives required) whose
-    workers derive per-process RNGs from ``base_seed``.
+    workers derive per-process RNGs from ``base_seed``.  ``ticket`` builds
+    the pull-based board (`repro.automl.remote.tickets`): no local pool at
+    all — remote worker agents claim trials over HTTP, with ``n_workers``
+    bounding how many tickets are kept in flight and ``lease_seconds``
+    their heartbeat deadline.
 
     Args:
         n_workers: pool size (>= 1).
-        backend: one of ``"auto"``, ``"sync"``, ``"thread"``, ``"process"``.
+        backend: one of ``"auto"``, ``"sync"``, ``"thread"``, ``"process"``,
+            ``"ticket"``.
         base_seed: seed for the process workers' RNG streams.
+        lease_seconds: ticket-backend lease duration (None = its default);
+            rejected for the local backends, which have no leases.
 
     Returns:
         A ready :class:`TrialExecutor`.
 
     Raises:
-        ValueError: for a non-positive worker count or unknown backend.
+        ValueError: for a non-positive worker count, unknown backend, or
+            ``lease_seconds`` on a non-ticket backend.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     if backend not in EXECUTOR_BACKENDS:
         raise ValueError(f"unknown executor backend {backend!r}; "
                          f"expected one of {EXECUTOR_BACKENDS}")
+    if backend == "ticket":
+        from repro.automl.remote.tickets import (
+            DEFAULT_LEASE_SECONDS,
+            TicketTrialExecutor,
+        )
+        return TicketTrialExecutor(
+            n_workers,
+            lease_seconds=(DEFAULT_LEASE_SECONDS if lease_seconds is None
+                           else lease_seconds))
+    if lease_seconds is not None:
+        raise ValueError(
+            f"lease_seconds only applies to the 'ticket' backend, "
+            f"not {backend!r}")
     if backend == "process":
         return ProcessPoolTrialExecutor(n_workers, base_seed=base_seed)
     if backend == "sync" or (backend == "auto" and n_workers == 1):

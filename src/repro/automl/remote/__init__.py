@@ -14,6 +14,19 @@ ordered stream; this package puts that substrate on the network:
   mirror of the in-process API (``submit``/``poll``/``wait``/``cancel``/
   ``subscribe``) speaking the wire schema, with reconnect-and-replay on
   dropped event streams.
+
+The fleet tier (PR 8) scales one server out to many:
+
+* :mod:`repro.automl.remote.router` — :class:`TuneRouter` /
+  :class:`RemoteRouterServer`, a front tier fanning submits across backends
+  by consistent hashing (:class:`HashRing`), journalling each job's stream
+  gaplessly and migrating jobs off dead backends under the original job and
+  trace ids.
+* :mod:`repro.automl.remote.tickets` — :class:`TicketTrialExecutor`
+  (``backend="ticket"``), a trial board leasing work to remote agents with
+  heartbeats and deadlines; a lost lease requeues the config uncharged.
+* :mod:`repro.automl.remote.worker` — :class:`TuneWorker`, the pull-based
+  agent claiming tickets over HTTP and streaming reports back.
 """
 
 from repro.automl.remote.api import (
@@ -26,6 +39,13 @@ from repro.automl.remote.api import (
 )
 from repro.automl.remote.client import AntTuneClient, RemoteTuneClient
 from repro.automl.remote.http_server import RemoteTuneServer
+from repro.automl.remote.router import (
+    HashRing,
+    RemoteRouterServer,
+    TuneRouter,
+)
+from repro.automl.remote.tickets import TicketTrialExecutor
+from repro.automl.remote.worker import TuneWorker
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -37,4 +57,9 @@ __all__ = [
     "AntTuneClient",
     "RemoteTuneClient",
     "RemoteTuneServer",
+    "HashRing",
+    "RemoteRouterServer",
+    "TuneRouter",
+    "TicketTrialExecutor",
+    "TuneWorker",
 ]

@@ -23,7 +23,9 @@ The client distinguishes two failure classes and treats them differently:
   mid-stream) raise the internal ``_ServerUnreachable`` — these are
   *retryable*: the server may be restarting, the network blipping.
   ``subscribe`` reconnects with the highest ``seq`` it already yielded and
-  backs off linearly (``0.2s * attempts``, capped at 2s).  Attempts that
+  backs off with full-jitter exponential delays (uniform below a ceiling
+  that doubles per attempt, capped at 5s) so a fleet of streaming clients
+  does not reconnect in lockstep against a restarting server.  Attempts that
   deliver **no new event** count against ``max_stream_retries``; any
   progress resets the counter, so a long-lived stream survives any number
   of blips while a genuinely dead server fails fast.
@@ -48,6 +50,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -64,6 +67,28 @@ __all__ = ["AntTuneClient", "RemoteTuneClient"]
 # Socket-level read timeout on event streams; the server heartbeats every
 # few seconds, so a silent stream this long means the connection is dead.
 _STREAM_READ_TIMEOUT = 30.0
+
+
+def _reconnect_delay(attempt: int, base: float = 0.1,
+                     cap: float = 5.0) -> float:
+    """Full-jitter exponential backoff: uniform over [0, min(cap, base*2^n)].
+
+    Every streaming client of a restarting server reconnects at once; a
+    fixed (or even deterministic exponential) sleep keeps them synchronised
+    into a thundering herd that hammers the same instants.  Full jitter
+    (AWS-style) decorrelates them: the *ceiling* grows exponentially with
+    the attempt number, the actual sleep is drawn uniformly below it.
+
+    Args:
+        attempt: 0-based consecutive failure count.
+        base: ceiling of the first attempt's sleep.
+        cap: upper bound on the ceiling however many attempts failed.
+
+    Returns:
+        Seconds to sleep before the next attempt.
+    """
+    ceiling = min(cap, base * (2 ** max(0, attempt)))
+    return random.uniform(0.0, ceiling)
 
 
 class _ServerUnreachable(TrialError):
@@ -346,7 +371,7 @@ class AntTuneClient:
                 if retries >= self.max_stream_retries:
                     raise
                 retries += 1
-                time.sleep(min(0.2 * retries, 2.0))
+                time.sleep(_reconnect_delay(retries - 1))
                 continue
             # An HTTP error *response* (unknown job, bad auth, rejected
             # parameters) is permanent — _open_stream raised it already and
@@ -382,7 +407,10 @@ class AntTuneClient:
                         f"event stream for job {job_id} kept failing "
                         f"without progress" +
                         (f": {failure}" if failure else "")) from None
-            time.sleep(0.05)
+            # Jittered backoff here too: a stream that made progress
+            # reconnects almost immediately (attempt 0), while repeated
+            # no-progress attempts spread the herd out exponentially.
+            time.sleep(_reconnect_delay(0 if made_progress else retries - 1))
 
     def _open_stream(self, job_id: int, last_seq: int, max_queue: int):
         """One streaming connection (split out so tests can inject failures)."""

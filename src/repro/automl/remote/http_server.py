@@ -303,6 +303,13 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 return (lambda params: self._post_cancel(parts[1], params),
                         "/v1/jobs/{id}/cancel")
+            if parts == ["tickets", "claim"]:
+                return self._post_ticket_claim, "/v1/tickets/claim"
+            if (len(parts) == 3 and parts[0] == "tickets"
+                    and parts[2] in ("report", "heartbeat", "complete")):
+                action = parts[2]
+                return (lambda params: self._post_ticket(parts[1], action),
+                        f"/v1/tickets/{{id}}/{action}")
         return None
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -357,6 +364,70 @@ class _Handler(BaseHTTPRequestHandler):
         job_id = self._job_id(segment)
         cancelled = self.remote.tune_server.cancel(job_id)
         self._reply(200, {"job_id": job_id, "cancelled": cancelled})
+
+    # ------------------------------------------------------------------ #
+    # Ticket surface (pull workers; backend="ticket" only)
+    # ------------------------------------------------------------------ #
+    def _post_ticket_claim(self, params: Dict[str, str]) -> None:
+        """Lease the oldest open trial ticket to the calling worker.
+
+        Answers ``{"ticket": null}`` when the board is idle — an idle
+        board is a poll outcome, not an error, so workers can spin on a
+        single status code.
+        """
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise ProtocolError("claim body must be a JSON object")
+        worker = body.get("worker")
+        if worker is not None and not isinstance(worker, str):
+            raise ProtocolError("'worker' must be a string")
+        board = self.remote.tune_server.ticket_board()
+        self._reply(200, {"ticket": board.claim(worker=worker),
+                          "protocol": PROTOCOL_VERSION})
+
+    def _post_ticket(self, segment: str, action: str) -> None:
+        """``report``/``heartbeat``/``complete`` against a leased ticket.
+
+        Every answer carries ``kill`` (a kill reason or null) so the
+        worker observes cancellation/pruning/preemption at its next call —
+        the same cooperative-kill contract the shared-memory flag table
+        gives process workers.  Stale-lease calls get the 404/409 the
+        board raises: the worker drops the attempt; the config already
+        requeued server-side.
+        """
+        if not segment.isdigit():
+            raise ProtocolError(
+                f"ticket id must be an integer, got {segment!r}", status=404)
+        ticket_id = int(segment)
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise ProtocolError("ticket body must be a JSON object")
+        token = body.get("token")
+        if not isinstance(token, str) or not token:
+            raise ProtocolError("'token' (the lease token) is required")
+        board = self.remote.tune_server.ticket_board()
+        if action == "report":
+            step, value = body.get("step"), body.get("value")
+            if not isinstance(step, int) or isinstance(step, bool) or step < 0:
+                raise ProtocolError("'step' must be a non-negative integer")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProtocolError("'value' must be a number")
+            kill = board.report(ticket_id, token, step, float(value))
+        elif action == "heartbeat":
+            kill = board.heartbeat(ticket_id, token)
+        else:  # complete
+            record = body.get("record")
+            if not isinstance(record, dict):
+                raise ProtocolError("'record' (the trial record) is required")
+            required = ("state", "value", "error", "duration_seconds",
+                        "intermediate_values")
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ProtocolError(
+                    f"trial record is missing keys: {', '.join(missing)}")
+            board.complete(ticket_id, token, record)
+            kill = None
+        self._reply(200, {"ok": True, "kill": kill})
 
     def _get_wait(self, segment: str, params: Dict[str, str]) -> None:
         """Bounded blocking wait; clients poll until ``done``.

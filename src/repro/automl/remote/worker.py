@@ -1,0 +1,242 @@
+"""Pull-based worker agent: claim trial tickets over HTTP and run them.
+
+:class:`TuneWorker` is the far side of the ticket board
+(:mod:`repro.automl.remote.tickets`).  It polls one or more tune servers
+started with ``backend="ticket"`` (round-robin, so one busy backend never
+starves the others), and for each claimed ticket:
+
+1. imports the objective from its ``module:attr`` reference (only state
+   crosses the wire, never code — the rule everywhere in the remote
+   layer);
+2. rebuilds a local :class:`~repro.automl.trial.Trial` whose
+   ``report(...)`` hook POSTs each intermediate value back to
+   ``/v1/tickets/{id}/report`` — the server mirrors it into the
+   scheduler-side trial, renews the lease, and answers with any pending
+   kill, which the hook applies so the objective's next ``report`` raises
+   (cooperative kills, exactly like every in-tree backend);
+3. keeps the lease alive with a background heartbeat (a slow objective
+   that reports rarely must not look dead);
+4. runs the objective through the standard
+   :func:`~repro.automl.executors.execute_trial` lifecycle and ships the
+   terminal record with ``/complete``.
+
+Failure discipline: a 404/409 on any ticket call means the lease was lost
+(the server already requeued the config, uncharged) — the worker drops
+the attempt and moves on; it never retries a stale result.  An
+unreachable backend is skipped this round and polled again later, so a
+worker survives backend restarts.
+
+Run it from the CLI::
+
+    python -m repro.automl.cli work http://host-a:8123 http://host-b:8123
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.automl.executors import execute_trial
+from repro.automl.remote.api import load_ref
+from repro.automl.remote.client import AntTuneClient, _ServerUnreachable
+from repro.automl.trial import KILL_CANCELLED, Trial, TrialState
+from repro.exceptions import TrialError
+
+__all__ = ["TuneWorker"]
+
+#: Fraction of the lease spent between heartbeats: three beats per lease,
+#: so two may be lost to scheduling hiccups before the lease expires.
+_HEARTBEAT_FRACTION = 1.0 / 3.0
+
+
+class TuneWorker:
+    """A worker agent pulling trial tickets from ``backend="ticket"`` servers.
+
+    Args:
+        servers: base URLs of the tune servers to poll (round-robin).
+        name: worker label stamped into claimed trials (and visible in
+            ``TrialStarted`` events / trial records).
+        token: bearer token shared with the servers.
+        poll_interval: sleep between claim sweeps that found no work.
+        timeout: per-request HTTP timeout.
+    """
+
+    def __init__(self, servers: Sequence[str], name: str = "pull-worker",
+                 token: Optional[str] = None, poll_interval: float = 0.2,
+                 timeout: float = 10.0) -> None:
+        if not servers:
+            raise ValueError("at least one server URL is required")
+        self.name = name
+        self.poll_interval = float(poll_interval)
+        self._clients: List[AntTuneClient] = [
+            AntTuneClient(url, token=token, timeout=timeout)
+            for url in servers]
+        self._next_backend = 0
+        self._stop = threading.Event()
+        #: Counters exposed for harnesses/tests: completed records shipped,
+        #: leases observed lost mid-attempt, claim sweeps that found no work.
+        self.completed = 0
+        self.lost = 0
+        self.idle_sweeps = 0
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to return after the in-flight ticket (if any)."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------ #
+    # The claim loop
+    # ------------------------------------------------------------------ #
+    def run(self, run_seconds: Optional[float] = None,
+            max_tickets: Optional[int] = None) -> int:
+        """Poll for tickets until stopped; returns tickets completed.
+
+        Args:
+            run_seconds: wall-clock bound (None = until :meth:`stop`).
+            max_tickets: stop after completing this many tickets.
+        """
+        deadline = (None if run_seconds is None
+                    else time.monotonic() + run_seconds)
+        while not self._stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if max_tickets is not None and self.completed >= max_tickets:
+                break
+            ticket = self._claim_once()
+            if ticket is None:
+                self.idle_sweeps += 1
+                # Idle: every backend was empty or unreachable.  Bounded
+                # nap so stop()/run_seconds stay responsive.
+                self._stop.wait(self.poll_interval)
+                continue
+            client, lease = ticket
+            self._run_ticket(client, lease)
+        return self.completed
+
+    def _claim_once(self) -> "Optional[tuple[AntTuneClient, dict]]":
+        """One round-robin sweep over the backends; the first ticket wins."""
+        for offset in range(len(self._clients)):
+            client = self._clients[
+                (self._next_backend + offset) % len(self._clients)]
+            try:
+                answer = client._request("POST", "/v1/tickets/claim",
+                                         {"worker": self.name})
+            except (_ServerUnreachable, TrialError, ValueError):
+                # Down, restarting, or not a ticket server (409): skip this
+                # backend for now; the next sweep tries it again.
+                continue
+            lease = answer.get("ticket") if isinstance(answer, dict) else None
+            if lease:
+                # Resume the *next* sweep one past the backend that fed us,
+                # so a busy board doesn't monopolise the worker.
+                self._next_backend = (
+                    (self._next_backend + offset + 1) % len(self._clients))
+                return client, lease
+        self._next_backend = (self._next_backend + 1) % len(self._clients)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # One leased ticket, start to finish
+    # ------------------------------------------------------------------ #
+    def _run_ticket(self, client: AntTuneClient, lease: dict) -> None:
+        ticket_id, token = lease["ticket"], lease["token"]
+        path = f"/v1/tickets/{ticket_id}"
+        lost = threading.Event()
+
+        def post(action: str, payload: dict) -> Optional[str]:
+            """POST one ticket call; returns the pending kill reason.
+
+            Raises TrialError for a lost lease (404/409) after marking it,
+            so callers on the objective's thread abort the attempt.
+            """
+            payload = dict(payload, token=token)
+            try:
+                answer = client._request("POST", f"{path}/{action}", payload)
+            except _ServerUnreachable:
+                # Transient: the lease may still be alive server-side; let
+                # the next report/heartbeat try again rather than aborting
+                # a healthy trial over one blip.
+                return None
+            except (TrialError, ValueError):
+                lost.set()
+                raise TrialError(
+                    f"lease for ticket {ticket_id} was lost") from None
+            return answer.get("kill") if isinstance(answer, dict) else None
+
+        try:
+            objective = load_ref(lease["objective"])
+        except Exception as exc:  # noqa: BLE001 - unimportable ref
+            self._complete_failed(post, lease, f"worker {self.name} could "
+                                  f"not import objective: {exc}")
+            return
+
+        trial = Trial(trial_id=int(lease["trial_id"]),
+                      params=dict(lease["params"]),
+                      worker=self.name, state=TrialState.RUNNING)
+        trial._report_hook = self._report_hook(post, trial, lost)
+
+        lease_seconds = float(lease.get("lease_seconds") or 15.0)
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(post, trial, lost, lease_seconds * _HEARTBEAT_FRACTION),
+            name=f"{self.name}-heartbeat", daemon=True)
+        beat.start()
+        try:
+            if lease.get("kill"):
+                trial.kill(lease["kill"])
+            execute_trial(objective, trial, lease.get("trial_time_limit"))
+        finally:
+            lost.set()  # stops the heartbeat loop
+            beat.join(timeout=5.0)
+        try:
+            post("complete", {"record": trial.as_record()})
+            self.completed += 1
+        except TrialError:
+            self.lost += 1  # stale result: the server already requeued it
+
+    def _report_hook(self, post: Callable[[str, dict], Optional[str]],
+                     trial: Trial, lost: threading.Event):
+        def hook(_: Trial, value: float, step: Optional[int]) -> None:
+            if lost.is_set():
+                trial.kill(KILL_CANCELLED)
+                trial._raise_if_killed()
+            index = (step if step is not None
+                     else len(trial.intermediate_values) - 1)
+            kill = post("report", {"step": int(index), "value": float(value)})
+            if kill:
+                trial.kill(kill)
+                trial._raise_if_killed()
+        return hook
+
+    @staticmethod
+    def _heartbeat_loop(post: Callable[[str, dict], Optional[str]],
+                        trial: Trial, lost: threading.Event,
+                        interval: float) -> None:
+        while not lost.wait(max(0.05, interval)):
+            try:
+                kill = post("heartbeat", {})
+            except TrialError:
+                return  # lease lost; `lost` is set, the hook aborts the trial
+            if kill:
+                # Deliver the kill; the objective observes it at its next
+                # report() (cooperative, like every backend).
+                trial.kill(kill)
+
+    @staticmethod
+    def _complete_failed(post: Callable[[str, dict], Optional[str]],
+                         lease: dict, error: str) -> None:
+        """Ship a FAILED record for a ticket the worker cannot even start."""
+        record = {
+            "trial_id": int(lease["trial_id"]),
+            "params": dict(lease["params"]),
+            "state": TrialState.FAILED.value,
+            "value": None,
+            "duration_seconds": 0.0,
+            "worker": None,
+            "error": error,
+            "intermediate_values": [],
+        }
+        try:
+            post("complete", {"record": record})
+        except TrialError:
+            pass

@@ -183,7 +183,8 @@ class AntTuneServer:
     def __init__(self, num_workers: int = 4, max_concurrent_jobs: int = 2,
                  backend: str = "auto", scheduler: SchedulerLike = None,
                  base_seed: int = 0,
-                 storage: Union[None, str, StudyStorage] = None) -> None:
+                 storage: Union[None, str, StudyStorage] = None,
+                 lease_seconds: Optional[float] = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if max_concurrent_jobs < 1:
@@ -191,10 +192,14 @@ class AntTuneServer:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(f"unknown executor backend {backend!r}; "
                              f"expected one of {EXECUTOR_BACKENDS}")
+        if lease_seconds is not None and backend != "ticket":
+            raise ValueError("lease_seconds only applies to the 'ticket' "
+                             "backend")
         make_scheduler(scheduler)  # fail fast on a typo, not in the dispatcher
         self.num_workers = num_workers
         self.max_concurrent_jobs = max_concurrent_jobs
         self.backend = backend
+        self.lease_seconds = lease_seconds
         self.scheduler = scheduler
         self.base_seed = base_seed
         self.storage = (StudyStorage(storage) if isinstance(storage, str)
@@ -256,8 +261,22 @@ class AntTuneServer:
                     raise TrialError("server has been shut down")
                 self._executor = make_executor(self.num_workers,
                                                backend=self.backend,
-                                               base_seed=self.base_seed)
+                                               base_seed=self.base_seed,
+                                               lease_seconds=self.lease_seconds)
             return self._executor
+
+    def ticket_board(self) -> "TrialExecutor":
+        """The ticket board pull workers claim from (``backend="ticket"``).
+
+        Raises:
+            TrialError: this server runs a local pool, not the ticket
+                backend — there are no tickets to claim.
+        """
+        if self.backend != "ticket":
+            raise TrialError(
+                f"server backend is {self.backend!r}, not 'ticket': "
+                f"no ticket board to claim from")
+        return self.executor
 
     def _ensure_dispatcher(self) -> ThreadPoolExecutor:
         with self._init_lock:
@@ -395,6 +414,13 @@ class AntTuneServer:
                       study_name=study_name or f"job-{job_id}-{self._instance_id}",
                       checkpoint_path=checkpoint_path, refs=refs,
                       trace_id=trace_id or _metrics.new_trace_id())
+        if self.backend == "ticket":
+            # Pull workers import the objective from its module:attr ref —
+            # pin it on the board now so an unimportable objective (lambda,
+            # __main__ callable) is refused at submit, not mid-study.
+            ref = (refs or {}).get("objective")
+            self.ticket_board().register_objective(
+                objective, ref if isinstance(ref, str) else None)
         if (self.storage is not None and study_name is not None
                 and not allow_stored and self.storage.study_exists(study_name)):
             # A plain submit must not upsert over a persisted study's history;
@@ -1206,12 +1232,18 @@ class AntTuneServer:
             state = snapshot["state"]
             job_states[state] = job_states.get(state, 0) + 1
         log = self.event_log
+        tickets = None
+        if self.backend == "ticket" and self._executor is not None:
+            board = getattr(self._executor, "board_status", None)
+            if board is not None:
+                tickets = board()
         return {
             "num_workers": self.num_workers,
             "max_concurrent_jobs": self.max_concurrent_jobs,
             "backend": self.backend,
             "num_jobs": len(jobs) + len(self._recovered),
             "job_states": job_states,
+            "tickets": tickets,
             "storage": None if self.storage is None else self.storage.path,
             "event_log": None if log is None else log.stats(),
             # Deprecated alias kept for older clients; the same counters (and

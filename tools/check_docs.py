@@ -58,8 +58,11 @@ FENCE_RE = re.compile(r"^```(\w*)\s*$")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
-#: The documented port every runbook example binds; --execute remaps it.
+#: The documented ports runbook examples bind; --execute remaps each to its
+#: own free port.  8123 is "the server" (or the fleet router), 8124 a second
+#: process (a fleet backend) in multi-server examples.
 DOC_PORT = "8123"
+DOC_PORT_2 = "8124"
 
 #: The helper module runbook commands import refs from (written into the
 #: sandbox by the executor, so `ops_demo:SPACE` resolves there).
@@ -323,6 +326,7 @@ class ConsoleSession:
     def __init__(self, workdir: str) -> None:
         self.workdir = workdir
         self.port = _free_port()
+        self.ports = {DOC_PORT: self.port, DOC_PORT_2: _free_port()}
         (Path(workdir) / f"{HELPER_MODULE}.py").write_text(HELPER_SOURCE)
         self.env = dict(os.environ)
         self.env["PYTHONPATH"] = os.pathsep.join(
@@ -332,10 +336,20 @@ class ConsoleSession:
         self.background: List[subprocess.Popen] = []
 
     def _substitute(self, command: str) -> str:
-        return command.replace(DOC_PORT, str(self.port))
+        for documented, actual in self.ports.items():
+            command = command.replace(documented, str(actual))
+        return command
+
+    def _bound_port(self, original: str) -> int:
+        """The remapped port a server command binds (its ``--port``)."""
+        match = re.search(r"--port\s+(\d+)", original)
+        if match:
+            return self.ports.get(match.group(1), int(match.group(1)))
+        return self.port  # both serve and route default to 8123
 
     def run(self, command: str) -> Optional[str]:
         """Execute one command; return an error string or None."""
+        original = command
         command = self._substitute(command)
         background = command.rstrip().endswith("&")
         if background:
@@ -353,8 +367,8 @@ class ConsoleSession:
                                     stdout=subprocess.PIPE,
                                     stderr=subprocess.STDOUT)
             self.background.append(proc)
-            if " serve" in command or " serve " in command:
-                return _wait_for_health(self.port, proc)
+            if any(f" {verb}" in command for verb in ("serve", "route")):
+                return _wait_for_health(self._bound_port(original), proc)
             return None
         try:
             done = subprocess.run(argv, cwd=self.workdir, env=self.env,
