@@ -13,8 +13,13 @@ number never hides dropped events.
 
 from __future__ import annotations
 
+import json
+import selectors
+import socket
 import threading
 import time
+
+import pytest
 
 from common import save_result
 
@@ -28,6 +33,12 @@ REPORTS_PER_TRIAL = 8
 
 N_ROUTER_CLIENTS = 8  # router fan-out benchmark: clients across 2 backends
 
+# C10k fan-out benchmark: many subscribers per job, both serving edges.
+N_FAN_JOBS = 8
+FAN_TRIALS = 2
+FAN_REPORTS = 200
+FAN_GATE = threading.Event()
+
 # Importable by the server through the wire's module:attr references
 # (benchmarks/conftest.py puts this directory on sys.path).
 from repro.automl.search_space import SearchSpace, Uniform  # noqa: E402
@@ -38,6 +49,14 @@ SPACE = SearchSpace({"x": Uniform(0.0, 1.0)})
 def objective(trial):
     for step in range(REPORTS_PER_TRIAL):
         trial.report(trial.params["x"] * (step + 1))
+    return trial.params["x"]
+
+
+def fanout_objective(trial):
+    """Gated burst: subscribers attach first, then every event fans out live."""
+    assert FAN_GATE.wait(120.0), "benchmark never released the objective"
+    for step in range(FAN_REPORTS):
+        trial.report(float(step))
     return trial.params["x"]
 
 
@@ -172,3 +191,167 @@ def test_router_fanout_streaming_throughput():
     # the extra hop must not collapse streaming throughput.
     assert events_per_sec > 50, (
         f"routed event streaming collapsed to {events_per_sec:.1f} events/s")
+
+
+# --------------------------------------------------------------------------- #
+# C10k: high-client-count streaming fan-out, threaded vs async edge
+# --------------------------------------------------------------------------- #
+class _StreamMux:
+    """N concurrent NDJSON stream readers multiplexed on the caller's thread.
+
+    One blocking SDK client per stream would need a thread per connection on
+    the *client* side too — at 1000 streams the harness would melt before
+    the server did.  Instead the benchmark's client plays by the server's
+    rules: non-blocking sockets on one selector, each response accumulated
+    until the server closes the (close-delimited) stream.
+    """
+
+    def __init__(self, address, requests) -> None:
+        self._sel = selectors.DefaultSelector()
+        self._requests = list(requests)
+        self._sent = [False] * len(self._requests)
+        self.buffers = [bytearray() for _ in self._requests]
+        self.done = [False] * len(self._requests)
+        self._socks = []
+        for index in range(len(self._requests)):
+            sock = socket.socket()
+            sock.setblocking(False)
+            sock.connect_ex(address)
+            self._socks.append(sock)
+            self._sel.register(sock, selectors.EVENT_WRITE, index)
+
+    def close(self) -> None:
+        for sock in self._socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._sel.close()
+
+    def pump_until(self, predicate, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while not predicate(self):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            for key, mask in self._sel.select(min(remaining, 0.25)):
+                index, sock = key.data, key.fileobj
+                if mask & selectors.EVENT_WRITE and not self._sent[index]:
+                    sock.sendall(self._requests[index])
+                    self._sent[index] = True
+                    self._sel.modify(sock, selectors.EVENT_READ, index)
+                    continue
+                if mask & selectors.EVENT_READ:
+                    try:
+                        data = sock.recv(1 << 16)
+                    except BlockingIOError:
+                        continue
+                    except OSError:
+                        data = b""
+                    if data:
+                        self.buffers[index] += data
+                    else:
+                        self.done[index] = True
+                        self._sel.unregister(sock)
+        return True
+
+    def attached(self, timeout: float) -> bool:
+        """Every stream has its response head: the subscription is live."""
+        return self.pump_until(
+            lambda mux: all(b"\r\n\r\n" in buf for buf in mux.buffers),
+            timeout)
+
+    def finished(self, timeout: float) -> bool:
+        return self.pump_until(lambda mux: all(mux.done), timeout)
+
+
+def _parse_stream(buf: bytes):
+    head, _, body = bytes(buf).partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    events = [json.loads(line) for line in body.split(b"\n") if line.strip()]
+    return status, events
+
+
+def _run_fanout(edge: str, n_clients: int) -> dict:
+    """One fan-out run: N subscribers over N_FAN_JOBS gated jobs, one edge."""
+    FAN_GATE.clear()
+    with RemoteTuneServer(num_workers=4, max_concurrent_jobs=N_FAN_JOBS,
+                          backend="thread", edge=edge) as remote:
+        client = AntTuneClient(remote.url, timeout=30.0)
+        job_ids = [
+            client.submit("test_remote_throughput:SPACE",
+                          "test_remote_throughput:fanout_objective",
+                          config={"n_trials": FAN_TRIALS}, seed=tag,
+                          study_name=f"fan-{edge}-{n_clients}-{tag}")
+            for tag in range(N_FAN_JOBS)]
+        requests = [
+            (f"GET /v1/jobs/{job_ids[index % N_FAN_JOBS]}/events?last_seq=-1 "
+             f"HTTP/1.1\r\nHost: b\r\n\r\n").encode()
+            for index in range(n_clients)]
+        mux = _StreamMux(remote.address, requests)
+        try:
+            attach_start = time.perf_counter()
+            assert mux.attached(120.0), f"{edge}/{n_clients}: attach timed out"
+            attach_seconds = time.perf_counter() - attach_start
+            start = time.perf_counter()
+            FAN_GATE.set()
+            assert mux.finished(300.0), f"{edge}/{n_clients}: streams hung"
+            elapsed = time.perf_counter() - start
+            total_events = 0
+            for index, buf in enumerate(mux.buffers):
+                status, events = _parse_stream(buf)
+                assert status == 200
+                job_id = job_ids[index % N_FAN_JOBS]
+                seqs = [event["seq"] for event in events]
+                assert seqs == list(range(len(events))), (
+                    f"{edge}/{n_clients}: client {index} stream has gaps")
+                assert events[-1]["type"] == "JobStateChanged"
+                assert events[-1]["terminal"]
+                assert all(event["job_id"] == job_id for event in events)
+                total_events += len(events)
+        finally:
+            mux.close()
+    return {
+        "edge": edge,
+        "clients": n_clients,
+        "jobs": N_FAN_JOBS,
+        "events_streamed": total_events,
+        "attach_seconds": round(attach_seconds, 3),
+        "seconds": round(elapsed, 3),
+        "events_per_sec": round(total_events / elapsed, 1),
+    }
+
+
+@pytest.mark.slow
+def test_c10k_fanout_streaming():
+    """64/256/1000 concurrent streams, threaded vs async edge.
+
+    Every stream is checked gapless to its terminal event, so the throughput
+    ratio never hides drops.  The async edge must hold 1000 concurrent
+    subscribers (the threaded edge is not asked to: a thread per connection
+    at that scale is exactly the ceiling this benchmark documents) and beat
+    the threaded edge >= 2x on aggregate delivered events/s at 256 clients.
+    """
+    rows = [
+        _run_fanout("threaded", 64),
+        _run_fanout("threaded", 256),
+        _run_fanout("async", 64),
+        _run_fanout("async", 256),
+        _run_fanout("async", 1000),
+    ]
+    by_key = {(row["edge"], row["clients"]): row for row in rows}
+    speedup = (by_key[("async", 256)]["events_per_sec"]
+               / by_key[("threaded", 256)]["events_per_sec"])
+    text = format_table(
+        rows, title=(f"{N_FAN_JOBS} gated jobs ({FAN_TRIALS} trials x "
+                     f"{FAN_REPORTS} reports), N subscribers multiplexed on "
+                     f"one client thread; every stream gapless to terminal; "
+                     f"async/threaded events/s at 256 clients = "
+                     f"{speedup:.2f}x"))
+    save_result("remote_c10k", text)
+
+    # The tentpole's acceptance bar: the async edge holds 1000 concurrent
+    # streams (asserted gapless above) and >= 2x events/s at 256 clients.
+    assert by_key[("async", 1000)]["events_streamed"] > 0
+    assert speedup >= 2.0, (
+        f"async edge only {speedup:.2f}x over threaded at 256 clients")

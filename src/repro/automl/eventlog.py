@@ -66,7 +66,7 @@ from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.automl import metrics as _metrics
-from repro.automl.events import Event, event_from_wire, event_to_wire
+from repro.automl.events import Event, event_from_wire, event_wire_bytes
 
 __all__ = ["EventLog", "FSYNC_POLICIES"]
 
@@ -279,8 +279,9 @@ class EventLog:
             raise ValueError("only bus-stamped events (job_id set, seq >= 0) "
                              "can be logged")
         append_start = perf_counter()
-        line = (json.dumps(event_to_wire(event), sort_keys=True) + "\n") \
-            .encode("utf-8")
+        # Shared wire bytes: the same buffer every stream subscriber ships,
+        # serialised once per event (see events.event_wire_bytes).
+        line = event_wire_bytes(event)
         import time
         with self._lock:
             appender = self._appenders.get(job_id)

@@ -54,6 +54,7 @@ already-finished job replays it up to its terminal event.
 from __future__ import annotations
 
 import dataclasses
+import json
 import queue as queue_module
 import threading
 from collections import deque
@@ -76,6 +77,7 @@ __all__ = [
     "EVENT_TYPES",
     "event_to_wire",
     "event_from_wire",
+    "event_wire_bytes",
 ]
 
 
@@ -231,6 +233,40 @@ def event_to_wire(event: Event) -> Dict[str, object]:
         # without a spurious null field.
         payload.pop("trace_id", None)
     return payload
+
+
+def event_wire_bytes(event: Event) -> bytes:
+    """The event's NDJSON wire line, serialised exactly once per event.
+
+    One published event fans out to many consumers — the durable event log
+    and every HTTP stream subscriber all ship the *same* bytes:
+    ``json.dumps(event_to_wire(e), sort_keys=True) + "\\n"`` encoded UTF-8.
+    The first call serialises and caches the buffer on the (frozen) event
+    instance, so N subscribers cost one serialisation instead of N — the
+    zero-copy half of the C10k serving edge.
+
+    The returned ``bytes`` object is immutable and shared; callers must
+    never mutate-in-place via ``memoryview`` tricks.
+
+    Args:
+        event: any :data:`Event` instance.
+
+    Returns:
+        The event's canonical NDJSON line (terminated by ``\\n``).
+
+    Raises:
+        TypeError: for an object that is not a known event type.
+    """
+    cached = event.__dict__.get("_wire_bytes")
+    if cached is not None:
+        return cached
+    data = (json.dumps(event_to_wire(event), sort_keys=True) + "\n").encode(
+        "utf-8")
+    # Frozen dataclasses forbid normal attribute writes; the cache is not a
+    # field (it never participates in __eq__/asdict/replace), so storing it
+    # through object.__setattr__ keeps the event's value semantics intact.
+    object.__setattr__(event, "_wire_bytes", data)
+    return data
 
 
 def event_from_wire(payload: Dict[str, object]) -> Event:
@@ -601,9 +637,27 @@ class EventBus:
     def _note_drop(self, job_id: Optional[int]) -> None:
         # Called from Subscription._deliver under the subscription's own
         # lock; a dedicated lock avoids any interplay with the bus lock.
+        self.note_drops(job_id, 1)
+
+    def note_drops(self, job_id: Optional[int], count: int) -> None:
+        """Fold externally shed events into this job's drop accounting.
+
+        Downstream per-consumer buffers (the async edge's per-connection
+        write queues) apply the same drop-oldest bound as subscriber queues
+        but shed outside the bus; this hook keeps all backpressure sheds in
+        one place — the :meth:`dropped` tallies and the
+        ``anttune_event_queue_dropped_total{job=...}`` metric.
+
+        Args:
+            job_id: the job whose stream shed events.
+            count: how many events were shed (must be >= 1 to count).
+        """
+        if count < 1:
+            return
         with self._dropped_lock:
-            self._dropped[job_id] = self._dropped.get(job_id, 0) + 1
-        _QUEUE_DROPPED.labels(job="none" if job_id is None else job_id).inc()
+            self._dropped[job_id] = self._dropped.get(job_id, 0) + count
+        _QUEUE_DROPPED.labels(job="none" if job_id is None else job_id).inc(
+            count)
 
     def dropped(self, job_id: Optional[int]) -> int:
         """Events shed by ``job_id``'s subscriber queues (all subscriptions).

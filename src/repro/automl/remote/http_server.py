@@ -1,9 +1,8 @@
 """Stdlib-only HTTP/JSON front end for the tune service.
 
-:class:`RemoteTuneServer` wraps an in-process
-:class:`~repro.automl.server.AntTuneServer` with a threaded
-``http.server`` endpoint speaking the versioned wire schema of
-:mod:`repro.automl.remote.api`:
+:class:`RemoteTuneServer` exposes an in-process
+:class:`~repro.automl.server.AntTuneServer` over the versioned wire schema
+of :mod:`repro.automl.remote.api`:
 
 ====================================  =========================================
 ``GET  /v1/health``                   liveness + protocol version
@@ -21,6 +20,22 @@
 ``POST /v1/resume``                   resume a stored study as a new job
 ====================================  =========================================
 
+The endpoint logic lives in one transport-agnostic core (:class:`_TuneApp`)
+served by either of two edges:
+
+* ``edge="async"`` (the default): :class:`~repro.automl.remote.edge.AsyncHTTPEdge`,
+  one ``selectors`` event loop multiplexing every socket.  Event streams are
+  per-connection write buffers fed by event-bus callbacks (frames batched
+  per loop flush, each frame the event's shared pre-serialised wire bytes),
+  and ``/wait`` parks as a terminal-event continuation instead of pinning a
+  thread per waiter.  This is the edge that holds thousands of concurrent
+  streaming clients.
+* ``edge="threaded"``: the original ``ThreadingHTTPServer``
+  thread-per-connection transport, kept for one release as a fallback
+  (``serve --edge threaded``).  Same routes, same taxonomy, same wire bytes.
+
+The default is overridable process-wide with ``ANTTUNE_EDGE=threaded|async``.
+
 The event stream is the server-side half of ``subscribe()``: each line is one
 :func:`~repro.automl.events.event_to_wire` payload carrying the job's
 monotonic ``seq``.  A client that lost its connection reconnects with
@@ -29,8 +44,10 @@ event log** first (so replay works even when the in-memory bus ring rotated
 or the whole process restarted — see :mod:`repro.automl.eventlog`), then the
 live subscription takes over, de-duplicated by seq.  Live delivery keeps the
 bus's drop-oldest semantics, with the per-connection queue bound settable
-via ``?max_queue=``.  Blank heartbeat lines are emitted while the stream
-idles so dead connections are noticed and their handler threads released.
+via ``?max_queue=`` (drops are counted in
+``anttune_event_queue_dropped_total`` on either edge).  Blank heartbeat
+lines are emitted while the stream idles so dead connections are noticed
+and their resources released.
 
 Constructed with ``recover=True`` (the CLI's ``serve --recover``), the
 wrapper runs :meth:`AntTuneServer.recover
@@ -47,12 +64,14 @@ cardinality bounded).  Each request's ``X-Request-Id`` header (generated when
 absent) is echoed back on the response and, on submit/resume, becomes the
 job's trace id — the correlation id stamped on every event the job publishes,
 so one id follows a request from HTTP ingress through the whole trial
-lifecycle and across crash-recovered resumes.
+lifecycle and across crash-recovered resumes.  The async edge additionally
+exposes ``anttune_http_open_connections{kind}``,
+``anttune_edge_flush_batch_size`` and ``anttune_edge_loop_lag_seconds``.
 
 Failure handling: schema violations answer 4xx JSON error bodies
 (:class:`~repro.automl.remote.api.ProtocolError` carries the status), unknown
 jobs/studies answer 404, conflicts (duplicate study names) 409, and anything
-unexpected 500 — the handler thread never takes the server down.  A ``token``
+unexpected 500 — a bad request never takes the server down.  A ``token``
 enables bearer auth (401 without it); override :meth:`RemoteTuneServer.check_auth`
 for anything fancier.
 """
@@ -60,68 +79,441 @@ for anything fancier.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.automl import metrics as _metrics
-from repro.automl.events import JobStateChanged, event_to_wire
+from repro.automl.events import JobStateChanged, event_wire_bytes
 from repro.automl.remote.api import (
     PROTOCOL_VERSION,
     ProtocolError,
     parse_resume,
     parse_submit,
 )
+from repro.automl.remote.edge import (
+    AsyncHTTPEdge,
+    Reply,
+    _clean_request_id,
+    _float_param,
+    _int_param,
+    _job_id_segment,
+    _json_bytes,
+    json_reply,
+)
+from repro.automl.remote.edge import _HTTP_SECONDS, _HTTP_TOTAL  # noqa: F401
 from repro.automl.server import AntTuneServer
 from repro.exceptions import TrialError
 from repro.utils.rng import new_rng
 
 __all__ = ["RemoteTuneServer"]
 
-# How long a single /wait request may block its handler thread; clients poll.
+# How long a single /wait request may block (threaded edge) or stay parked
+# (async edge); clients poll.
 MAX_WAIT_SECONDS = 60.0
 # Idle heartbeat period on event streams (blank NDJSON line): detects dead
 # connections and keeps read timeouts from firing on quiet jobs.
 HEARTBEAT_SECONDS = 5.0
-# Socket send timeout on event streams: a connected client that stopped
-# *reading* fills the TCP window and would otherwise block the handler
-# thread (and pin its subscription) forever.
+# Grace for a connected client that stopped *reading*: on the threaded edge
+# a socket send timeout, on the async edge the no-progress stall sweep.
 STREAM_SEND_TIMEOUT = 30.0
 # The Prometheus text exposition content type served by GET /v1/metrics.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-_HTTP_SECONDS = _metrics.REGISTRY.histogram(
-    "anttune_http_request_seconds",
-    "HTTP request handling latency by method and route template.",
-    labels=("method", "endpoint"))
-_HTTP_TOTAL = _metrics.REGISTRY.counter(
-    "anttune_http_requests_total",
-    "HTTP requests served by method, route template and status code.",
-    labels=("method", "endpoint", "status"))
 
+def _wait_payload(tune: AntTuneServer, job_id: int,
+                  timeout: float) -> Dict[str, object]:
+    """The ``/wait`` response body after blocking up to ``timeout`` seconds.
 
-def _json_bytes(payload: object) -> bytes:
-    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-
-
-def _clean_request_id(raw: Optional[str]) -> Optional[str]:
-    """A caller-supplied X-Request-Id, or None when unusable.
-
-    Printable, headerable, bounded: anything else is replaced by a generated
-    id rather than echoed back verbatim into a response header.
+    Raises TrialError (propagated as 404) only for unknown job ids; a
+    finished-but-failed job is a *successful* wait whose payload carries the
+    error, and a still-running one answers ``{"done": false}``.
     """
-    if not raw:
+    try:
+        best = tune.wait(job_id, timeout=timeout)
+    except TrialError as exc:
+        status = tune.status(job_id)  # raises 404 for unknown ids
+        if not status["finished"]:
+            return {"done": False, "state": status["state"]}
+        if status["state"] == "completed":
+            # The terminal event publishes *before* the job's done-flag
+            # flips, so a zero/short wait can lose that race while status
+            # already reads finished; a short bounded re-wait bridges it.
+            try:
+                best = tune.wait(job_id, timeout=5.0)
+            except TrialError as exc2:
+                return {"done": True, "state": status["state"],
+                        "error": status["error"] or str(exc2), "best": None}
+            return {"done": True, "state": "completed", "error": None,
+                    "best": best.as_record()}
+        return {"done": True, "state": status["state"],
+                "error": status["error"] or str(exc), "best": None}
+    return {"done": True, "state": "completed", "error": None,
+            "best": best.as_record()}
+
+
+class _WaitParker:
+    """A parked ``/wait``: the continuation the async edge completes.
+
+    ``register`` subscribes the fire callback to the job's terminal event on
+    the bus — an already-terminal job fires synchronously during
+    registration (bus replay), so the park never misses a finish that raced
+    the initial "not done yet" check.
+    """
+
+    def __init__(self, tune: AntTuneServer, job_id: int,
+                 timeout: float) -> None:
+        self._tune = tune
+        self.job_id = job_id
+        self.timeout_seconds = timeout
+        self._sub = None
+
+    def register(self, fire: Callable[[], None]) -> None:
+        self._sub = self._tune.on_terminal(self.job_id, fire)
+
+    def cancel(self) -> None:
+        sub, self._sub = self._sub, None
+        if sub is not None:
+            sub.close()
+
+    def terminal_payload(self) -> Dict[str, object]:
+        # The terminal event publishes *before* the job's done-flag is set;
+        # a short bounded wait bridges that ordering without busy-waiting.
+        return _wait_payload(self._tune, self.job_id, 10.0)
+
+    def timeout_payload(self) -> Dict[str, object]:
+        return _wait_payload(self._tune, self.job_id, 0.0)
+
+
+class _TuneApp:
+    """The tune service's endpoint core, shared by both serving edges.
+
+    Transport-agnostic: route classification, request handling, wait
+    semantics and stream setup live here; the async edge drives it through
+    the protocol described in :mod:`repro.automl.remote.edge`, the threaded
+    handler through the same methods plus the ``*_threaded`` blocking
+    variants.
+    """
+
+    def __init__(self, remote: "RemoteTuneServer") -> None:
+        self.remote = remote
+
+    # -- edge hooks ------------------------------------------------------ #
+    def log(self, line: str) -> None:
+        self.remote.log(line)
+
+    def check_auth(self, token: Optional[str]) -> bool:
+        return self.remote.check_auth(token)
+
+    @property
+    def heartbeat_seconds(self) -> float:
+        return HEARTBEAT_SECONDS  # read dynamically: tests retune it
+
+    @property
+    def stream_send_timeout(self) -> float:
+        return STREAM_SEND_TIMEOUT
+
+    # -- routing --------------------------------------------------------- #
+    def classify(self, method: str, path: str):
+        """``(kind, route_template, args)`` for a request path, or None.
+
+        ``kind`` picks the edge treatment: ``control`` requests answer from
+        a worker and return; ``wait`` may park; ``events`` becomes a stream.
+        The template doubles as the ``endpoint`` metric label, so per-route
+        series never explode in cardinality with job ids.
+        """
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "v1":
+            return None
+        parts = parts[1:]
+        if method == "GET":
+            if parts == ["health"]:
+                return ("control", "/v1/health", None)
+            if parts == ["status"]:
+                return ("control", "/v1/status", None)
+            if parts == ["metrics"]:
+                return ("control", "/v1/metrics", None)
+            if parts == ["jobs"]:
+                return ("control", "/v1/jobs", None)
+            if len(parts) == 2 and parts[0] == "jobs":
+                return ("control", "/v1/jobs/{id}", parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "wait":
+                return ("wait", "/v1/jobs/{id}/wait", parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                return ("events", "/v1/jobs/{id}/events", parts[1])
+        elif method == "POST":
+            if parts == ["jobs"]:
+                return ("control", "/v1/jobs", None)
+            if parts == ["resume"]:
+                return ("control", "/v1/resume", None)
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                return ("control", "/v1/jobs/{id}/cancel", parts[1])
+            if parts == ["tickets", "claim"]:
+                return ("control", "/v1/tickets/claim", None)
+            if (len(parts) == 3 and parts[0] == "tickets"
+                    and parts[2] in ("report", "heartbeat", "complete")):
+                return ("control", f"/v1/tickets/{{id}}/{parts[2]}",
+                        (parts[1], parts[2]))
         return None
-    raw = raw.strip()
-    if not raw or len(raw) > 128 or not raw.isprintable():
-        return None
-    return raw
+
+    # -- control --------------------------------------------------------- #
+    def handle_control(self, method: str, template: str, args: object,
+                       params: Dict[str, str],
+                       read_body: Callable[[], object],
+                       request_id: Optional[str]) -> Reply:
+        tune = self.remote.tune_server
+        if template == "/v1/health":
+            return json_reply(200, {"ok": True, "protocol": PROTOCOL_VERSION})
+        if template == "/v1/status":
+            payload = tune.server_status()
+            payload["protocol"] = PROTOCOL_VERSION
+            return json_reply(200, payload)
+        if template == "/v1/metrics":
+            return Reply(200, _metrics.REGISTRY.render().encode("utf-8"),
+                         METRICS_CONTENT_TYPE)
+        if template == "/v1/jobs" and method == "GET":
+            return json_reply(200, {"jobs": tune.jobs()})
+        if template == "/v1/jobs":  # POST: submit
+            kwargs = parse_submit(read_body())
+            seed = kwargs.pop("seed", None)
+            if seed is not None:
+                kwargs["rng"] = new_rng(seed)
+            # The request's correlation id becomes the job's trace id: every
+            # event the job publishes carries it, end to end.
+            job_id = tune.submit(trace_id=request_id, **kwargs)
+            return json_reply(200, {"job_id": job_id, "trace_id": request_id,
+                                    "protocol": PROTOCOL_VERSION})
+        if template == "/v1/resume":
+            kwargs = parse_resume(read_body())
+            job_id = tune.resume(trace_id=request_id, **kwargs)
+            return json_reply(200, {"job_id": job_id, "trace_id": request_id,
+                                    "protocol": PROTOCOL_VERSION})
+        if template == "/v1/jobs/{id}":
+            return json_reply(200, tune.status(_job_id_segment(args)))
+        if template == "/v1/jobs/{id}/cancel":
+            job_id = _job_id_segment(args)
+            return json_reply(200, {"job_id": job_id,
+                                    "cancelled": tune.cancel(job_id)})
+        if template == "/v1/tickets/claim":
+            return self._ticket_claim(read_body())
+        if template.startswith("/v1/tickets/"):
+            segment, action = args
+            return self._ticket(segment, action, read_body())
+        raise ProtocolError(f"no such endpoint: {method} {template}",
+                            status=404)  # pragma: no cover - classify gates
+
+    # -- ticket surface (pull workers; backend="ticket" only) ------------ #
+    def _ticket_claim(self, body: object) -> Reply:
+        """Lease the oldest open trial ticket to the calling worker.
+
+        Answers ``{"ticket": null}`` when the board is idle — an idle
+        board is a poll outcome, not an error, so workers can spin on a
+        single status code.
+        """
+        if not isinstance(body, dict):
+            raise ProtocolError("claim body must be a JSON object")
+        worker = body.get("worker")
+        if worker is not None and not isinstance(worker, str):
+            raise ProtocolError("'worker' must be a string")
+        board = self.remote.tune_server.ticket_board()
+        return json_reply(200, {"ticket": board.claim(worker=worker),
+                                "protocol": PROTOCOL_VERSION})
+
+    def _ticket(self, segment: str, action: str, body: object) -> Reply:
+        """``report``/``heartbeat``/``complete`` against a leased ticket.
+
+        Every answer carries ``kill`` (a kill reason or null) so the
+        worker observes cancellation/pruning/preemption at its next call —
+        the same cooperative-kill contract the shared-memory flag table
+        gives process workers.  Stale-lease calls get the 404/409 the
+        board raises: the worker drops the attempt; the config already
+        requeued server-side.
+        """
+        if not segment.isdigit():
+            raise ProtocolError(
+                f"ticket id must be an integer, got {segment!r}", status=404)
+        ticket_id = int(segment)
+        if not isinstance(body, dict):
+            raise ProtocolError("ticket body must be a JSON object")
+        token = body.get("token")
+        if not isinstance(token, str) or not token:
+            raise ProtocolError("'token' (the lease token) is required")
+        board = self.remote.tune_server.ticket_board()
+        if action == "report":
+            step, value = body.get("step"), body.get("value")
+            if not isinstance(step, int) or isinstance(step, bool) or step < 0:
+                raise ProtocolError("'step' must be a non-negative integer")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProtocolError("'value' must be a number")
+            kill = board.report(ticket_id, token, step, float(value))
+        elif action == "heartbeat":
+            kill = board.heartbeat(ticket_id, token)
+        else:  # complete
+            record = body.get("record")
+            if not isinstance(record, dict):
+                raise ProtocolError("'record' (the trial record) is required")
+            required = ("state", "value", "error", "duration_seconds",
+                        "intermediate_values")
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ProtocolError(
+                    f"trial record is missing keys: {', '.join(missing)}")
+            board.complete(ticket_id, token, record)
+            kill = None
+        return json_reply(200, {"ok": True, "kill": kill})
+
+    # -- wait ------------------------------------------------------------ #
+    def _wait_args(self, args: object,
+                   params: Dict[str, str]) -> Tuple[int, float]:
+        job_id = _job_id_segment(args)
+        timeout = min(_float_param(params, "timeout", 10.0), MAX_WAIT_SECONDS)
+        return job_id, max(0.0, timeout)
+
+    def wait_blocking(self, args: object, params: Dict[str, str],
+                      request_id: Optional[str]) -> Dict[str, object]:
+        """Threaded-edge ``/wait``: block the handler thread (bounded)."""
+        job_id, timeout = self._wait_args(args, params)
+        return _wait_payload(self.remote.tune_server, job_id, timeout)
+
+    def wait_begin(self, args: object, params: Dict[str, str],
+                   request_id: Optional[str]):
+        """Async-edge ``/wait``: answer now, or park a continuation.
+
+        A job that is already done (or a zero timeout) answers immediately;
+        otherwise no thread blocks — the edge holds the connection and the
+        job's terminal bus event (or a loop timer) completes it.
+        """
+        job_id, timeout = self._wait_args(args, params)
+        payload = _wait_payload(self.remote.tune_server, job_id, 0.0)
+        if payload["done"] or timeout <= 0.0:
+            return ("reply", payload)
+        return ("park", _WaitParker(self.remote.tune_server, job_id, timeout))
+
+    # -- event streams --------------------------------------------------- #
+    def stream_begin(self, args: object, params: Dict[str, str],
+                     request_id: Optional[str], sink) -> None:
+        """Async-edge ``/events``: wire one job's feed into a stream sink.
+
+        ``last_seq`` skips everything the client already saw.  The gap
+        backfills from the durable event log first, then live bus frames
+        take over — the subscription attaches *before* the disk read, both
+        sides overlap rather than gap, and the sink de-duplicates by seq.
+        Live frames are the event's shared wire bytes
+        (:func:`~repro.automl.events.event_wire_bytes`): serialized once,
+        reused by every subscriber and the event log.  ``max_queue`` bounds
+        this connection's live frame queue (drop-oldest; drops counted in
+        ``anttune_event_queue_dropped_total``).
+        """
+        job_id = _job_id_segment(args)
+        last_seq = _int_param(params, "last_seq", -1)
+        max_queue = _int_param(params, "max_queue", 1024)
+        if max_queue < 1:
+            raise ProtocolError("max_queue must be >= 1")
+        tune = self.remote.tune_server
+        sink.live_bound = max_queue
+        sink.drop_hook = lambda count: tune.note_stream_drops(job_id, count)
+
+        def push(event) -> None:
+            sink.live(event_wire_bytes(event), event.seq,
+                      isinstance(event, JobStateChanged) and event.terminal)
+
+        backfill, subscription = tune.open_event_stream(
+            job_id, last_seq=last_seq, max_queue=max_queue, callback=push)
+        if subscription is not None:
+            sink.on_close(subscription.close)
+        if not sink.start():
+            return
+        sent = last_seq  # highest seq emitted; the de-dup watermark
+        for event in backfill:
+            if event.seq <= sent:
+                continue
+            if not sink.emit(event_wire_bytes(event)):
+                return  # client gone or stalled out its grace
+            sent = event.seq
+            if isinstance(event, JobStateChanged) and event.terminal:
+                sink.end()  # the log already holds the stream's end
+                return
+        if subscription is None:
+            # Log-only job (finished before a restart): the backfill was the
+            # whole story — and it ended terminal above, or the log was
+            # compacted down to a tail the client already has.
+            sink.end()
+            return
+        sink.backfill_done(sent)
+
+    def stream_threaded(self, handler: "_Handler", args: object,
+                        params: Dict[str, str]) -> None:
+        """Threaded-edge ``/events``: stream on the handler's own thread."""
+        job_id = _job_id_segment(args)
+        last_seq = _int_param(params, "last_seq", -1)
+        max_queue = _int_param(params, "max_queue", 1024)
+        if max_queue < 1:
+            raise ProtocolError("max_queue must be >= 1")
+        backfill, subscription = self.remote.tune_server.open_event_stream(
+            job_id, last_seq=last_seq, max_queue=max_queue)
+        try:
+            # A client that stops *reading* must not pin this thread: once
+            # the TCP window fills, writes block — bound them so the wedged
+            # connection is torn down and the subscription released.
+            handler.connection.settimeout(self.stream_send_timeout)
+            handler._last_status = 200
+            handler.send_response(200)
+            handler.send_header("Content-Type", "application/x-ndjson")
+            handler.send_header("Cache-Control", "no-store")
+            if handler._request_id:
+                handler.send_header("X-Request-Id", handler._request_id)
+            # Close-delimited stream: its length is unknowable up front.
+            handler.send_header("Connection", "close")
+            handler.end_headers()
+            sent = last_seq  # highest seq written; the de-dup watermark
+            for event in backfill:
+                if event.seq <= sent:
+                    continue
+                handler.wfile.write(event_wire_bytes(event))
+                handler.wfile.flush()
+                sent = event.seq
+                if isinstance(event, JobStateChanged) and event.terminal:
+                    return  # the log already holds the stream's end
+            if subscription is None:
+                return  # log-only job: the backfill was the whole story
+            while True:
+                try:
+                    event = subscription.get(timeout=self.heartbeat_seconds)
+                except TimeoutError:
+                    # Idle heartbeat: keeps client read timeouts quiet and
+                    # surfaces a dead connection as a write error here.
+                    handler.wfile.write(b"\n")
+                    handler.wfile.flush()
+                    continue
+                if event is None:
+                    return  # terminal event already delivered
+                if event.seq > sent:
+                    handler.wfile.write(event_wire_bytes(event))
+                    handler.wfile.flush()
+                    sent = event.seq
+                if isinstance(event, JobStateChanged) and event.terminal:
+                    return
+        except OSError:
+            # Disconnected or stalled client (reset, broken pipe, send
+            # timeout): drop the stream; it can resume with last_seq.
+            return
+        finally:
+            if subscription is not None:
+                subscription.close()
+            handler.close_connection = True
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """One request; ``self.remote`` is injected by :class:`RemoteTuneServer`."""
+    """The threaded edge's transport shim around ``self.remote.app``.
+
+    Pure plumbing — parsing, auth, metrics, error taxonomy — with every
+    endpoint decision delegated to the app core, so both edges serve
+    byte-identical responses.  ``self.remote`` is injected by
+    :class:`RemoteTuneServer`.
+    """
 
     remote: "RemoteTuneServer"
     protocol_version = "HTTP/1.1"
@@ -129,6 +521,7 @@ class _Handler(BaseHTTPRequestHandler):
     # the reply carried and the request's correlation id.
     _last_status: int = 0
     _request_id: Optional[str] = None
+
     # The default handler logs every request to stderr; route through the
     # remote server's hook so tests/operators control verbosity.
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
@@ -193,35 +586,6 @@ class _Handler(BaseHTTPRequestHandler):
                                              keep_blank_values=True))
         return split.path.rstrip("/") or "/", params
 
-    @staticmethod
-    def _int_param(params: Dict[str, str], key: str, default: int) -> int:
-        raw = params.get(key)
-        if raw is None:
-            return default
-        try:
-            return int(raw)
-        except ValueError:
-            raise ProtocolError(f"query parameter {key!r} must be an "
-                                f"integer, got {raw!r}") from None
-
-    @staticmethod
-    def _float_param(params: Dict[str, str], key: str,
-                     default: float) -> float:
-        raw = params.get(key)
-        if raw is None:
-            return default
-        try:
-            return float(raw)
-        except ValueError:
-            raise ProtocolError(f"query parameter {key!r} must be a "
-                                f"number, got {raw!r}") from None
-
-    def _job_id(self, segment: str) -> int:
-        if not segment.isdigit():
-            raise ProtocolError(f"job id must be an integer, got {segment!r}",
-                                status=404)
-        return int(segment)
-
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
@@ -230,19 +594,31 @@ class _Handler(BaseHTTPRequestHandler):
         self._last_status = 0
         self._request_id = (_clean_request_id(self.headers.get("X-Request-Id"))
                             or _metrics.new_trace_id())
+        app = self.remote.app
         endpoint = "unmatched"  # route *template*, never the raw path: label
         # cardinality stays bounded no matter what clients request.
         try:
             path, params = self._query()
-            if not self.remote.check_auth(self._bearer_token()):
+            if not app.check_auth(self._bearer_token()):
                 self._error(401, "missing or invalid bearer token")
                 return
-            routed = self._route(method, path)
-            if routed is None:
+            classified = app.classify(method, path)
+            if classified is None:
                 self._error(404, f"no such endpoint: {method} {path}")
                 return
-            handler, endpoint = routed
-            handler(params)
+            kind, endpoint, args = classified
+            if kind == "control":
+                result = app.handle_control(method, endpoint, args, params,
+                                            self._read_body, self._request_id)
+                if result.close:
+                    self.close_connection = True
+                self._reply_bytes(result.status, result.body,
+                                  result.content_type, close=result.close)
+            elif kind == "wait":
+                self._reply(200, app.wait_blocking(args, params,
+                                                   self._request_id))
+            else:  # events
+                app.stream_threaded(self, args, params)
         except ProtocolError as exc:
             self._safe_error(exc.status, str(exc))
         except TrialError as exc:
@@ -266,267 +642,11 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass
 
-    def _route(self, method: str, path: str):
-        """Resolve ``(handler, route_template)`` for a request, or None.
-
-        The template (``/v1/jobs/{id}`` — id elided) doubles as the
-        ``endpoint`` metric label, so per-route latency/status series never
-        explode in cardinality with job ids.
-        """
-        parts = [p for p in path.split("/") if p]
-        if not parts or parts[0] != "v1":
-            return None
-        parts = parts[1:]
-        if method == "GET":
-            if parts == ["health"]:
-                return self._get_health, "/v1/health"
-            if parts == ["status"]:
-                return self._get_status, "/v1/status"
-            if parts == ["metrics"]:
-                return self._get_metrics, "/v1/metrics"
-            if parts == ["jobs"]:
-                return self._get_jobs, "/v1/jobs"
-            if len(parts) == 2 and parts[0] == "jobs":
-                return (lambda params: self._get_job(parts[1], params),
-                        "/v1/jobs/{id}")
-            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "wait":
-                return (lambda params: self._get_wait(parts[1], params),
-                        "/v1/jobs/{id}/wait")
-            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
-                return (lambda params: self._get_events(parts[1], params),
-                        "/v1/jobs/{id}/events")
-        elif method == "POST":
-            if parts == ["jobs"]:
-                return self._post_submit, "/v1/jobs"
-            if parts == ["resume"]:
-                return self._post_resume, "/v1/resume"
-            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-                return (lambda params: self._post_cancel(parts[1], params),
-                        "/v1/jobs/{id}/cancel")
-            if parts == ["tickets", "claim"]:
-                return self._post_ticket_claim, "/v1/tickets/claim"
-            if (len(parts) == 3 and parts[0] == "tickets"
-                    and parts[2] in ("report", "heartbeat", "complete")):
-                action = parts[2]
-                return (lambda params: self._post_ticket(parts[1], action),
-                        f"/v1/tickets/{{id}}/{action}")
-        return None
-
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("POST")
-
-    # ------------------------------------------------------------------ #
-    # Endpoints
-    # ------------------------------------------------------------------ #
-    def _get_health(self, params: Dict[str, str]) -> None:
-        self._reply(200, {"ok": True, "protocol": PROTOCOL_VERSION})
-
-    def _get_status(self, params: Dict[str, str]) -> None:
-        payload = self.remote.tune_server.server_status()
-        payload["protocol"] = PROTOCOL_VERSION
-        self._reply(200, payload)
-
-    def _get_metrics(self, params: Dict[str, str]) -> None:
-        """The process-wide metrics registry in Prometheus text format."""
-        body = _metrics.REGISTRY.render().encode("utf-8")
-        self._reply_bytes(200, body, METRICS_CONTENT_TYPE)
-
-    def _get_jobs(self, params: Dict[str, str]) -> None:
-        self._reply(200, {"jobs": self.remote.tune_server.jobs()})
-
-    def _get_job(self, segment: str, params: Dict[str, str]) -> None:
-        job_id = self._job_id(segment)
-        self._reply(200, self.remote.tune_server.status(job_id))
-
-    def _post_submit(self, params: Dict[str, str]) -> None:
-        kwargs = parse_submit(self._read_body())
-        seed = kwargs.pop("seed", None)
-        if seed is not None:
-            kwargs["rng"] = new_rng(seed)
-        # The request's correlation id becomes the job's trace id: every
-        # event the job publishes carries it, end to end.
-        job_id = self.remote.tune_server.submit(trace_id=self._request_id,
-                                                **kwargs)
-        self._reply(200, {"job_id": job_id, "trace_id": self._request_id,
-                          "protocol": PROTOCOL_VERSION})
-
-    def _post_resume(self, params: Dict[str, str]) -> None:
-        kwargs = parse_resume(self._read_body())
-        job_id = self.remote.tune_server.resume(trace_id=self._request_id,
-                                                **kwargs)
-        self._reply(200, {"job_id": job_id, "trace_id": self._request_id,
-                          "protocol": PROTOCOL_VERSION})
-
-    def _post_cancel(self, segment: str, params: Dict[str, str]) -> None:
-        job_id = self._job_id(segment)
-        cancelled = self.remote.tune_server.cancel(job_id)
-        self._reply(200, {"job_id": job_id, "cancelled": cancelled})
-
-    # ------------------------------------------------------------------ #
-    # Ticket surface (pull workers; backend="ticket" only)
-    # ------------------------------------------------------------------ #
-    def _post_ticket_claim(self, params: Dict[str, str]) -> None:
-        """Lease the oldest open trial ticket to the calling worker.
-
-        Answers ``{"ticket": null}`` when the board is idle — an idle
-        board is a poll outcome, not an error, so workers can spin on a
-        single status code.
-        """
-        body = self._read_body()
-        if not isinstance(body, dict):
-            raise ProtocolError("claim body must be a JSON object")
-        worker = body.get("worker")
-        if worker is not None and not isinstance(worker, str):
-            raise ProtocolError("'worker' must be a string")
-        board = self.remote.tune_server.ticket_board()
-        self._reply(200, {"ticket": board.claim(worker=worker),
-                          "protocol": PROTOCOL_VERSION})
-
-    def _post_ticket(self, segment: str, action: str) -> None:
-        """``report``/``heartbeat``/``complete`` against a leased ticket.
-
-        Every answer carries ``kill`` (a kill reason or null) so the
-        worker observes cancellation/pruning/preemption at its next call —
-        the same cooperative-kill contract the shared-memory flag table
-        gives process workers.  Stale-lease calls get the 404/409 the
-        board raises: the worker drops the attempt; the config already
-        requeued server-side.
-        """
-        if not segment.isdigit():
-            raise ProtocolError(
-                f"ticket id must be an integer, got {segment!r}", status=404)
-        ticket_id = int(segment)
-        body = self._read_body()
-        if not isinstance(body, dict):
-            raise ProtocolError("ticket body must be a JSON object")
-        token = body.get("token")
-        if not isinstance(token, str) or not token:
-            raise ProtocolError("'token' (the lease token) is required")
-        board = self.remote.tune_server.ticket_board()
-        if action == "report":
-            step, value = body.get("step"), body.get("value")
-            if not isinstance(step, int) or isinstance(step, bool) or step < 0:
-                raise ProtocolError("'step' must be a non-negative integer")
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                raise ProtocolError("'value' must be a number")
-            kill = board.report(ticket_id, token, step, float(value))
-        elif action == "heartbeat":
-            kill = board.heartbeat(ticket_id, token)
-        else:  # complete
-            record = body.get("record")
-            if not isinstance(record, dict):
-                raise ProtocolError("'record' (the trial record) is required")
-            required = ("state", "value", "error", "duration_seconds",
-                        "intermediate_values")
-            missing = [key for key in required if key not in record]
-            if missing:
-                raise ProtocolError(
-                    f"trial record is missing keys: {', '.join(missing)}")
-            board.complete(ticket_id, token, record)
-            kill = None
-        self._reply(200, {"ok": True, "kill": kill})
-
-    def _get_wait(self, segment: str, params: Dict[str, str]) -> None:
-        """Bounded blocking wait; clients poll until ``done``.
-
-        The per-request block is capped at :data:`MAX_WAIT_SECONDS` so one
-        slow job cannot pin handler threads forever; the SDK's ``wait()``
-        re-issues the request until its own (possibly unbounded) timeout.
-        """
-        job_id = self._job_id(segment)
-        timeout = min(self._float_param(params, "timeout", 10.0),
-                      MAX_WAIT_SECONDS)
-        tune = self.remote.tune_server
-        try:
-            best = tune.wait(job_id, timeout=max(0.0, timeout))
-        except TrialError as exc:
-            status = tune.status(job_id)  # raises 404 for unknown ids
-            if not status["finished"]:
-                self._reply(200, {"done": False, "state": status["state"]})
-                return
-            self._reply(200, {"done": True, "state": status["state"],
-                              "error": status["error"] or str(exc),
-                              "best": None})
-            return
-        self._reply(200, {"done": True, "state": "completed", "error": None,
-                          "best": best.as_record()})
-
-    def _get_events(self, segment: str, params: Dict[str, str]) -> None:
-        """Stream one job's ordered event feed as NDJSON until terminal.
-
-        ``last_seq`` skips everything the client already saw.  The gap
-        backfills from the durable event log first — transparently serving
-        pre-restart history when the in-memory bus ring rotated or the
-        process is new — then the live subscription takes over; both sides
-        overlap rather than gap (subscription opened before the disk read),
-        and ``sent`` de-duplicates by seq.  ``max_queue`` bounds this
-        connection's live queue with the bus's drop-oldest semantics, so a
-        slow consumer lags (and sees a seq gap it can re-request) instead of
-        back-pressuring the publishers.
-        """
-        job_id = self._job_id(segment)
-        last_seq = self._int_param(params, "last_seq", -1)
-        max_queue = self._int_param(params, "max_queue", 1024)
-        if max_queue < 1:
-            raise ProtocolError("max_queue must be >= 1")
-        backfill, subscription = self.remote.tune_server.open_event_stream(
-            job_id, last_seq=last_seq, max_queue=max_queue)
-        try:
-            # A client that stops *reading* must not pin this thread: once
-            # the TCP window fills, writes block — bound them so the wedged
-            # connection is torn down and the subscription released.
-            self.connection.settimeout(STREAM_SEND_TIMEOUT)
-            self._last_status = 200
-            self.send_response(200)
-            self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Cache-Control", "no-store")
-            if self._request_id:
-                self.send_header("X-Request-Id", self._request_id)
-            # Close-delimited stream: its length is unknowable up front.
-            self.send_header("Connection", "close")
-            self.end_headers()
-            sent = last_seq  # highest seq written; the de-dup watermark
-            for event in backfill:
-                if event.seq <= sent:
-                    continue
-                self.wfile.write(_json_bytes(event_to_wire(event)))
-                self.wfile.flush()
-                sent = event.seq
-                if isinstance(event, JobStateChanged) and event.terminal:
-                    return  # the log already holds the stream's end
-            if subscription is None:
-                # Log-only job (finished before a restart): the backfill was
-                # the whole story — and it ended terminal above, or the log
-                # was compacted down to a tail the client already has.
-                return
-            while True:
-                try:
-                    event = subscription.get(timeout=HEARTBEAT_SECONDS)
-                except TimeoutError:
-                    # Idle heartbeat: keeps client read timeouts quiet and
-                    # surfaces a dead connection as a write error here.
-                    self.wfile.write(b"\n")
-                    self.wfile.flush()
-                    continue
-                if event is None:
-                    return  # terminal event already delivered
-                if event.seq > sent:
-                    self.wfile.write(_json_bytes(event_to_wire(event)))
-                    self.wfile.flush()
-                    sent = event.seq
-                if isinstance(event, JobStateChanged) and event.terminal:
-                    return
-        except OSError:
-            # Disconnected or stalled client (reset, broken pipe, send
-            # timeout): drop the stream; it can resume with last_seq.
-            return
-        finally:
-            if subscription is not None:
-                subscription.close()
-            self.close_connection = True
 
 
 class RemoteTuneServer:
@@ -547,6 +667,15 @@ class RemoteTuneServer:
             port — interrupted jobs are auto-resumed or finalised before any
             client can connect; the summary lands in :attr:`recovery`.
             Requires file-backed storage.
+        edge: ``"async"`` (event-loop edge, the default) or ``"threaded"``
+            (thread-per-connection fallback).  Defaults from the
+            ``ANTTUNE_EDGE`` environment variable when unset.
+        edge_workers: async edge only — bounded worker pool for control
+            handlers and stream backfills.
+        flush_interval: async edge only — minimum seconds between two
+            batched flushes of one stream (latency vs batch-size knob).
+        write_buffer_limit: async edge only — per-connection cap (bytes) on
+            buffered unsent output before backpressure engages.
         **server_kwargs: forwarded to :class:`AntTuneServer` when
             ``tune_server`` is omitted (``num_workers=``, ``storage=``, ...).
 
@@ -562,7 +691,17 @@ class RemoteTuneServer:
                  token: Optional[str] = None,
                  log: Optional[object] = None,
                  recover: bool = False,
+                 edge: Optional[str] = None,
+                 edge_workers: int = 8,
+                 flush_interval: float = 0.005,
+                 write_buffer_limit: int = 256 * 1024,
                  **server_kwargs: object) -> None:
+        if edge is None:
+            edge = os.environ.get("ANTTUNE_EDGE") or "async"
+        if edge not in ("async", "threaded"):
+            raise ValueError(f"edge must be 'async' or 'threaded', "
+                             f"got {edge!r}")
+        self.edge = edge
         self._owns_tune_server = tune_server is None
         self.tune_server = (tune_server if tune_server is not None
                             else AntTuneServer(**server_kwargs))  # type: ignore[arg-type]
@@ -580,20 +719,39 @@ class RemoteTuneServer:
                 if self._owns_tune_server:
                     self.tune_server.shutdown()
                 raise
-        handler = type("BoundHandler", (_Handler,), {"remote": self})
+        self.app = self._make_app()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._edge: Optional[AsyncHTTPEdge] = None
         try:
-            self._httpd = ThreadingHTTPServer((host, port), handler)
+            if edge == "threaded":
+                handler = type("BoundHandler", (_Handler,), {"remote": self})
+                # Match the async edge's listen backlog: the stdlib default
+                # (5) makes any burst of connections hit SYN-retransmit
+                # backoff long before a thread is even spawned.
+                server_cls = type("BoundHTTPServer", (ThreadingHTTPServer,),
+                                  {"request_queue_size": 1024})
+                self._httpd = server_cls((host, port), handler)
+                # Handler threads must not block interpreter exit: an event
+                # stream can stay open for a job's whole lifetime.
+                self._httpd.daemon_threads = True
+            else:
+                self._edge = AsyncHTTPEdge(
+                    (host, port), self.app, workers=edge_workers,
+                    flush_interval=flush_interval,
+                    write_buffer_limit=write_buffer_limit,
+                    name="anttune-edge")
         except OSError:
             # Bind failure (port in use, bad host): a tune server this
             # wrapper constructed — and so owns — must not leak its pool.
             if self._owns_tune_server:
                 self.tune_server.shutdown()
             raise
-        # Handler threads must not block interpreter exit: an event stream
-        # can legitimately stay open for a job's whole lifetime.
-        self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._started = False
+
+    def _make_app(self) -> _TuneApp:
+        """The endpoint core; routers override to serve their own app."""
+        return _TuneApp(self)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -601,6 +759,8 @@ class RemoteTuneServer:
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._edge is not None:
+            return self._edge.address
         return self._httpd.server_address[:2]
 
     @property
@@ -630,6 +790,10 @@ class RemoteTuneServer:
     # ------------------------------------------------------------------ #
     def start(self) -> "RemoteTuneServer":
         """Serve in a background thread and return self (idempotent)."""
+        if self._edge is not None:
+            self._edge.start()
+            self._started = True
+            return self
         if self._thread is None:
             self._thread = threading.Thread(target=self._httpd.serve_forever,
                                             name="anttune-http",
@@ -641,7 +805,10 @@ class RemoteTuneServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI ``serve`` command's mode)."""
         self._started = True
-        self._httpd.serve_forever()
+        if self._edge is not None:
+            self._edge.serve_forever()
+        else:
+            self._httpd.serve_forever()
 
     def stop(self, shutdown_tune_server: Optional[bool] = None) -> None:
         """Stop accepting requests; optionally shut the tune server down.
@@ -650,14 +817,17 @@ class RemoteTuneServer:
             shutdown_tune_server: defaults to whether this wrapper
                 constructed (and so owns) the in-process server.
         """
-        if self._started:
-            # BaseServer.shutdown() waits on a flag only serve_forever()
-            # ever sets — calling it on a never-started server deadlocks.
-            self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+        if self._edge is not None:
+            self._edge.stop()
+        else:
+            if self._started:
+                # BaseServer.shutdown() waits on a flag only serve_forever()
+                # ever sets — calling it on a never-started server deadlocks.
+                self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+                self._thread = None
         self._started = False
         owns = (self._owns_tune_server if shutdown_tune_server is None
                 else shutdown_tune_server)

@@ -41,16 +41,35 @@ from __future__ import annotations
 import bisect
 import dataclasses
 import hashlib
+import os
 import threading
 import uuid
 from time import monotonic
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.automl import metrics as _metrics
 from repro.automl.events import JobStateChanged, event_from_wire, event_to_wire
 from repro.automl.remote.api import PROTOCOL_VERSION, ProtocolError
 from repro.automl.remote.client import AntTuneClient, _ServerUnreachable
 from repro.automl.remote import http_server as _http
+from repro.automl.remote.edge import (
+    AsyncHTTPEdge,
+    Reply,
+    _float_param,
+    _int_param,
+    _job_id_segment,
+    _json_bytes,
+    json_reply,
+)
 from repro.exceptions import TrialError
 
 __all__ = ["HashRing", "TuneRouter", "RemoteRouterServer"]
@@ -154,9 +173,13 @@ class _RouterJob:
     """The router's authoritative record of one placed job.
 
     ``journal`` holds re-stamped wire events where index == router seq, so
-    replay is a slice and gaplessness is structural.  ``incarnation`` counts
-    (re)attachments to a backend; a relay thread carries the incarnation it
-    was started under and discards everything once the numbers diverge.
+    replay is a slice and gaplessness is structural; ``journal_bytes`` is
+    the same journal pre-serialised to NDJSON lines, shared by every
+    streaming connection (serialize once, fan out N times).  ``listeners``
+    are the async edge's per-connection push callbacks, invoked under
+    ``cond`` at append time.  ``incarnation`` counts (re)attachments to a
+    backend; a relay thread carries the incarnation it was started under
+    and discards everything once the numbers diverge.
     """
 
     def __init__(self, job_id: int, study_name: str, trace_id: str,
@@ -171,6 +194,8 @@ class _RouterJob:
         self.backend_job_id = backend_job_id
         self.cond = threading.Condition()
         self.journal: List[Dict[str, object]] = []
+        self.journal_bytes: List[bytes] = []
+        self.listeners: List[Callable[[bytes, int, bool], None]] = []
         self.state = "queued"
         self.error: Optional[str] = None
         self.terminal = False
@@ -391,13 +416,14 @@ class TuneRouter:
                     stamped = dataclasses.replace(
                         event, job_id=job.job_id, seq=len(job.journal),
                         trace_id=job.trace_id)
-                    job.journal.append(event_to_wire(stamped))
+                    terminal = (isinstance(event, JobStateChanged)
+                                and event.terminal)
                     if isinstance(event, JobStateChanged):
                         job.state = event.state
                         job.error = event.error
                         if event.terminal:
                             job.terminal = True
-                    job.cond.notify_all()
+                    self._append_wire(job, event_to_wire(stamped), terminal)
         except Exception:  # noqa: BLE001 - the stream is gone; heal below
             pass
         finally:
@@ -524,6 +550,26 @@ class TuneRouter:
                           incarnation, last_seq)
         return True
 
+    @staticmethod
+    def _append_wire(job: _RouterJob, wire: Dict[str, object],
+                     terminal: bool) -> None:
+        """Append one wire event to the journal (caller holds ``job.cond``).
+
+        Serialises the line once into ``journal_bytes`` — the buffer every
+        streaming connection shares — pushes it to the async edge's
+        listeners, and wakes journal tailers.
+        """
+        seq = len(job.journal)
+        data = _json_bytes(wire)
+        job.journal.append(wire)
+        job.journal_bytes.append(data)
+        for listener in list(job.listeners):
+            try:
+                listener(data, seq, terminal)
+            except Exception:  # noqa: BLE001 - one sink must not stop relay
+                pass
+        job.cond.notify_all()
+
     def _finish_locally(self, job: _RouterJob, state: str,
                         error: Optional[str]) -> None:
         """Terminate a job in the journal when no backend can anymore."""
@@ -534,11 +580,10 @@ class TuneRouter:
             event = JobStateChanged(state=state, error=error, terminal=True,
                                     job_id=job.job_id, seq=len(job.journal),
                                     trace_id=job.trace_id)
-            job.journal.append(event_to_wire(event))
             job.state = state
             job.error = error
             job.terminal = True
-            job.cond.notify_all()
+            self._append_wire(job, event_to_wire(event), True)
 
     # ------------------------------------------------------------------ #
     # Aggregated control surface (mirrors the backend API shapes)
@@ -720,115 +765,267 @@ class TuneRouter:
         return [event_from_wire(wire) for wire in journal]
 
 
-class _RouterHandler(_http._Handler):
-    """The router's HTTP surface: the backend protocol, served off journals.
+class _RouterWaitParker:
+    """A parked router ``/wait``: completed by the journal's terminal append.
 
-    Reuses the tune server handler's plumbing (auth, dispatch, error
-    taxonomy, metrics labels) and overrides the endpoints to hit the
-    :class:`TuneRouter` instead of an in-process ``AntTuneServer``.  Submit
-    and resume deliberately do *not* parse refs — the router forwards
-    bodies; only backends import code.
+    The continuation is a journal listener (fired under ``job.cond`` by
+    :meth:`TuneRouter._append_wire`); a job that went terminal before
+    registration fires synchronously, so a finish racing the park is never
+    lost.
     """
 
-    remote: "RemoteRouterServer"
+    def __init__(self, router: TuneRouter, job: _RouterJob,
+                 timeout: float) -> None:
+        self._router = router
+        self._job = job
+        self.timeout_seconds = timeout
+        self._listener = None
 
-    def _route(self, method: str, path: str):
+    def register(self, fire: Callable[[], None]) -> None:
+        job = self._job
+
+        def listen(data: bytes, seq: int, terminal: bool) -> None:
+            if terminal:
+                fire()
+
+        with job.cond:
+            already = job.terminal
+            if not already:
+                job.listeners.append(listen)
+                self._listener = listen
+        if already:
+            fire()
+
+    def cancel(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            with self._job.cond:
+                try:
+                    self._job.listeners.remove(listener)
+                except ValueError:
+                    pass
+
+    def terminal_payload(self) -> Dict[str, object]:
+        # The journal is already terminal; the bounded wait only covers the
+        # backend's best-trial proxy call inside router.wait().
+        return self._router.wait(self._job.job_id, timeout=5.0)
+
+    def timeout_payload(self) -> Dict[str, object]:
+        return self._router.wait(self._job.job_id, timeout=0.0)
+
+
+class _RouterApp:
+    """The router's endpoint core: the backend protocol, served off journals.
+
+    The same transport-agnostic shape as
+    :class:`~repro.automl.remote.http_server._TuneApp` — driven by the
+    async edge or the threaded handler — but hitting the
+    :class:`TuneRouter` instead of an in-process ``AntTuneServer``.  Submit
+    and resume deliberately do *not* parse refs — the router forwards
+    bodies; only backends import code.  No ticket surface: workers talk to
+    backends directly.
+    """
+
+    def __init__(self, remote: "RemoteRouterServer") -> None:
+        self.remote = remote
+
+    # -- edge hooks ------------------------------------------------------ #
+    def log(self, line: str) -> None:
+        self.remote.log(line)
+
+    def check_auth(self, token: Optional[str]) -> bool:
+        return self.remote.check_auth(token)
+
+    @property
+    def heartbeat_seconds(self) -> float:
+        return _http.HEARTBEAT_SECONDS
+
+    @property
+    def stream_send_timeout(self) -> float:
+        return _http.STREAM_SEND_TIMEOUT
+
+    # -- routing --------------------------------------------------------- #
+    def classify(self, method: str, path: str):
         parts = [p for p in path.split("/") if p]
         if not parts or parts[0] != "v1":
             return None
         parts = parts[1:]
         if method == "GET":
             if parts == ["health"]:
-                return self._get_health, "/v1/health"
+                return ("control", "/v1/health", None)
             if parts == ["status"]:
-                return self._get_status, "/v1/status"
+                return ("control", "/v1/status", None)
             if parts == ["metrics"]:
-                return self._get_metrics, "/v1/metrics"
+                return ("control", "/v1/metrics", None)
             if parts == ["jobs"]:
-                return self._get_jobs, "/v1/jobs"
+                return ("control", "/v1/jobs", None)
             if len(parts) == 2 and parts[0] == "jobs":
-                return (lambda params: self._get_job(parts[1], params),
-                        "/v1/jobs/{id}")
+                return ("control", "/v1/jobs/{id}", parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "wait":
-                return (lambda params: self._get_wait(parts[1], params),
-                        "/v1/jobs/{id}/wait")
+                return ("wait", "/v1/jobs/{id}/wait", parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
-                return (lambda params: self._get_events(parts[1], params),
-                        "/v1/jobs/{id}/events")
+                return ("events", "/v1/jobs/{id}/events", parts[1])
         elif method == "POST":
             if parts == ["jobs"]:
-                return self._post_submit, "/v1/jobs"
+                return ("control", "/v1/jobs", None)
             if parts == ["resume"]:
-                return self._post_resume, "/v1/resume"
+                return ("control", "/v1/resume", None)
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-                return (lambda params: self._post_cancel(parts[1], params),
-                        "/v1/jobs/{id}/cancel")
+                return ("control", "/v1/jobs/{id}/cancel", parts[1])
         return None
 
-    # -- GET ----------------------------------------------------------- #
-    def _get_health(self, params: Dict[str, str]) -> None:
-        self._reply(200, {"ok": True, "role": "router",
-                          "protocol": PROTOCOL_VERSION})
+    # -- control --------------------------------------------------------- #
+    def handle_control(self, method: str, template: str, args: object,
+                       params: Dict[str, str],
+                       read_body: Callable[[], object],
+                       request_id: Optional[str]) -> Reply:
+        router = self.remote.router
+        if template == "/v1/health":
+            return json_reply(200, {"ok": True, "role": "router",
+                                    "protocol": PROTOCOL_VERSION})
+        if template == "/v1/status":
+            payload = router.server_status()
+            payload["protocol"] = PROTOCOL_VERSION
+            return json_reply(200, payload)
+        if template == "/v1/metrics":
+            return Reply(200, router.metrics_text().encode("utf-8"),
+                         _http.METRICS_CONTENT_TYPE)
+        if template == "/v1/jobs" and method == "GET":
+            return json_reply(200, {"jobs": router.jobs()})
+        if template == "/v1/jobs":  # POST: submit
+            return self._place("submit", read_body(), request_id)
+        if template == "/v1/resume":
+            return self._place("resume", read_body(), request_id)
+        if template == "/v1/jobs/{id}":
+            return json_reply(200, router.status(_job_id_segment(args)))
+        if template == "/v1/jobs/{id}/cancel":
+            job_id = _job_id_segment(args)
+            return json_reply(200, {"job_id": job_id,
+                                    "cancelled": router.cancel(job_id)})
+        raise ProtocolError(f"no such endpoint: {method} {template}",
+                            status=404)  # pragma: no cover - classify gates
 
-    def _get_status(self, params: Dict[str, str]) -> None:
-        payload = self.remote.router.server_status()
-        payload["protocol"] = PROTOCOL_VERSION
-        self._reply(200, payload)
+    def _place(self, kind: str, body: object,
+               request_id: Optional[str]) -> Reply:
+        try:
+            answer = self.remote.router.submit(
+                body, trace_id=request_id, kind=kind)  # type: ignore[arg-type]
+        except ValueError as exc:
+            # A backend's 400 surfaces as ValueError in the forwarding
+            # client; keep it a 400 for our caller too.
+            raise ProtocolError(str(exc)) from None
+        return json_reply(200, answer)
 
-    def _get_metrics(self, params: Dict[str, str]) -> None:
-        body = self.remote.router.metrics_text().encode("utf-8")
-        self._reply_bytes(200, body, _http.METRICS_CONTENT_TYPE)
-
-    def _get_jobs(self, params: Dict[str, str]) -> None:
-        self._reply(200, {"jobs": self.remote.router.jobs()})
-
-    def _get_job(self, segment: str, params: Dict[str, str]) -> None:
-        self._reply(200, self.remote.router.status(self._job_id(segment)))
-
-    def _get_wait(self, segment: str, params: Dict[str, str]) -> None:
-        job_id = self._job_id(segment)
-        timeout = min(self._float_param(params, "timeout", 10.0),
+    # -- wait ------------------------------------------------------------ #
+    def _wait_args(self, args: object,
+                   params: Dict[str, str]) -> Tuple[int, float]:
+        job_id = _job_id_segment(args)
+        timeout = min(_float_param(params, "timeout", 10.0),
                       _http.MAX_WAIT_SECONDS)
-        self._reply(200, self.remote.router.wait(job_id,
-                                                 timeout=max(0.0, timeout)))
+        return job_id, max(0.0, timeout)
 
-    def _get_events(self, segment: str, params: Dict[str, str]) -> None:
-        """Stream a job's journal as NDJSON: replay, live tail, heartbeats.
+    def wait_blocking(self, args: object, params: Dict[str, str],
+                      request_id: Optional[str]) -> Dict[str, object]:
+        job_id, timeout = self._wait_args(args, params)
+        return self.remote.router.wait(job_id, timeout=timeout)
+
+    def wait_begin(self, args: object, params: Dict[str, str],
+                   request_id: Optional[str]):
+        job_id, timeout = self._wait_args(args, params)
+        router = self.remote.router
+        job = router._job(job_id)  # 404 for unknown ids
+        with job.cond:
+            terminal = job.terminal
+        if terminal or timeout <= 0.0:
+            return ("reply", router.wait(job_id, timeout=0.0))
+        return ("park", _RouterWaitParker(router, job, timeout))
+
+    # -- event streams --------------------------------------------------- #
+    def stream_begin(self, args: object, params: Dict[str, str],
+                     request_id: Optional[str], sink) -> None:
+        """Wire one journal into a stream sink: snapshot replay + listener.
+
+        Registering the listener and slicing the journal happen atomically
+        under ``job.cond``, so the live push takes over exactly where the
+        snapshot ends — gapless by construction, and every frame is the
+        journal's shared pre-serialised line.
+        """
+        job_id = _job_id_segment(args)
+        last_seq = _int_param(params, "last_seq", -1)
+        max_queue = _int_param(params, "max_queue", 1024)
+        if max_queue < 1:
+            raise ProtocolError("max_queue must be >= 1")
+        job = self.remote.router._job(job_id)
+        sink.live_bound = max_queue
+
+        def listen(data: bytes, seq: int, terminal: bool) -> None:
+            sink.live(data, seq, terminal)
+
+        start_index = max(0, last_seq + 1)
+        with job.cond:
+            snapshot = list(job.journal_bytes[start_index:])
+            terminal_now = job.terminal
+            if not terminal_now:
+                job.listeners.append(listen)
+        if not terminal_now:
+            def remove() -> None:
+                with job.cond:
+                    try:
+                        job.listeners.remove(listen)
+                    except ValueError:
+                        pass
+
+            sink.on_close(remove)
+        if not sink.start():
+            return
+        sent = start_index - 1
+        for data in snapshot:
+            sent += 1  # journal index == seq: the slice is contiguous
+            if not sink.emit(data):
+                return
+        if terminal_now:
+            sink.end()
+            return
+        sink.backfill_done(sent)
+
+    def stream_threaded(self, handler, args: object,
+                        params: Dict[str, str]) -> None:
+        """Threaded-edge journal stream: replay, live tail, heartbeats.
 
         Identical wire shape to a backend's stream, but served from the
         router's journal — where index == seq — so a client reconnecting
         with ``last_seq`` across backend restarts *and* migrations still
         observes one gapless feed.
         """
-        job_id = self._job_id(segment)
-        last_seq = self._int_param(params, "last_seq", -1)
+        job_id = _job_id_segment(args)
+        last_seq = _int_param(params, "last_seq", -1)
         job = self.remote.router._job(job_id)
         try:
-            self.connection.settimeout(_http.STREAM_SEND_TIMEOUT)
-            self._last_status = 200
-            self.send_response(200)
-            self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Cache-Control", "no-store")
-            if self._request_id:
-                self.send_header("X-Request-Id", self._request_id)
-            self.send_header("Connection", "close")
-            self.end_headers()
+            handler.connection.settimeout(self.stream_send_timeout)
+            handler._last_status = 200
+            handler.send_response(200)
+            handler.send_header("Content-Type", "application/x-ndjson")
+            handler.send_header("Cache-Control", "no-store")
+            if handler._request_id:
+                handler.send_header("X-Request-Id", handler._request_id)
+            handler.send_header("Connection", "close")
+            handler.end_headers()
             next_index = max(0, last_seq + 1)
             while True:
                 with job.cond:
                     if next_index >= len(job.journal) and not job.terminal:
-                        job.cond.wait(_http.HEARTBEAT_SECONDS)
-                    batch = list(job.journal[next_index:])
+                        job.cond.wait(self.heartbeat_seconds)
+                    batch = list(job.journal_bytes[next_index:])
                     done = job.terminal and \
                         next_index + len(batch) >= len(job.journal)
-                for wire in batch:
-                    self.wfile.write(_http._json_bytes(wire))
+                for data in batch:
+                    handler.wfile.write(data)
                 if batch:
-                    self.wfile.flush()
+                    handler.wfile.flush()
                     next_index += len(batch)
                 elif not done:
-                    self.wfile.write(b"\n")  # idle heartbeat
-                    self.wfile.flush()
+                    handler.wfile.write(b"\n")  # idle heartbeat
+                    handler.wfile.flush()
                 if done:
                     return
                 if self.remote.router._stop.is_set():
@@ -836,30 +1033,7 @@ class _RouterHandler(_http._Handler):
         except OSError:
             return  # client went away; it can resume with last_seq
         finally:
-            self.close_connection = True
-
-    # -- POST ---------------------------------------------------------- #
-    def _post_submit(self, params: Dict[str, str]) -> None:
-        self._place("submit")
-
-    def _post_resume(self, params: Dict[str, str]) -> None:
-        self._place("resume")
-
-    def _place(self, kind: str) -> None:
-        body = self._read_body()
-        try:
-            answer = self.remote.router.submit(
-                body, trace_id=self._request_id, kind=kind)  # type: ignore[arg-type]
-        except ValueError as exc:
-            # A backend's 400 surfaces as ValueError in the forwarding
-            # client; keep it a 400 for our caller too.
-            raise ProtocolError(str(exc)) from None
-        self._reply(200, answer)
-
-    def _post_cancel(self, segment: str, params: Dict[str, str]) -> None:
-        job_id = self._job_id(segment)
-        cancelled = self.remote.router.cancel(job_id)
-        self._reply(200, {"job_id": job_id, "cancelled": cancelled})
+            handler.close_connection = True
 
 
 class RemoteRouterServer:
@@ -877,6 +1051,9 @@ class RemoteRouterServer:
         log: optional callable receiving one line per handled request.
         router: an externally owned :class:`TuneRouter` to serve instead of
             constructing one.
+        edge: ``"async"`` (event-loop edge, the default) or ``"threaded"``
+            (thread-per-connection fallback); defaults from ``ANTTUNE_EDGE``
+            when unset — the same knob as the backend server's.
         **router_kwargs: forwarded to :class:`TuneRouter` when constructed
             here (``health_interval=``, ``replicas=``, ...).
     """
@@ -886,28 +1063,47 @@ class RemoteRouterServer:
                  token: Optional[str] = None,
                  log: Optional[object] = None,
                  router: Optional[TuneRouter] = None,
+                 edge: Optional[str] = None,
                  **router_kwargs: object) -> None:
+        if edge is None:
+            edge = os.environ.get("ANTTUNE_EDGE") or "async"
+        if edge not in ("async", "threaded"):
+            raise ValueError(f"edge must be 'async' or 'threaded', "
+                             f"got {edge!r}")
+        self.edge = edge
         self._owns_router = router is None
         self.router = (router if router is not None
                        else TuneRouter(backends, token=token,
                                        **router_kwargs))  # type: ignore[arg-type]
         self.token = token
         self._log = log
-        handler = type("BoundRouterHandler", (_RouterHandler,),
-                       {"remote": self})
+        self.app = _RouterApp(self)
+        self._httpd = None
+        self._edge: Optional[AsyncHTTPEdge] = None
         try:
-            self._httpd = _http.ThreadingHTTPServer((host, port), handler)
+            if edge == "threaded":
+                handler = type("BoundRouterHandler", (_http._Handler,),
+                               {"remote": self})
+                server_cls = type("BoundRouterHTTPServer",
+                                  (_http.ThreadingHTTPServer,),
+                                  {"request_queue_size": 1024})
+                self._httpd = server_cls((host, port), handler)
+                self._httpd.daemon_threads = True
+            else:
+                self._edge = AsyncHTTPEdge((host, port), self.app,
+                                           name="anttune-router-edge")
         except OSError:
             if self._owns_router:
                 self.router.close()
             raise
-        self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._started = False
 
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._edge is not None:
+            return self._edge.address
         return self._httpd.server_address[:2]
 
     @property
@@ -930,6 +1126,10 @@ class RemoteRouterServer:
     def start(self) -> "RemoteRouterServer":
         """Start the router's health monitor and serve in a thread."""
         self.router.start()
+        if self._edge is not None:
+            self._edge.start()
+            self._started = True
+            return self
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -942,16 +1142,22 @@ class RemoteRouterServer:
         """Serve on the calling thread (the CLI ``route`` command's mode)."""
         self.router.start()
         self._started = True
-        self._httpd.serve_forever()
+        if self._edge is not None:
+            self._edge.serve_forever()
+        else:
+            self._httpd.serve_forever()
 
     def stop(self) -> None:
         """Stop accepting requests; close the router when owned here."""
-        if self._started:
-            self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
-            self._thread = None
+        if self._edge is not None:
+            self._edge.stop()
+        else:
+            if self._started:
+                self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+                self._thread = None
         self._started = False
         if self._owns_router:
             self.router.close()

@@ -593,8 +593,42 @@ class AntTuneServer:
         return self._bus.subscribe(job_id, callback=callback,
                                    max_queue=max_queue)
 
+    def on_terminal(self, job_id: int,
+                    callback: Callable[[], None]) -> Subscription:
+        """Fire ``callback`` once when the job reaches a terminal state.
+
+        The continuation behind the async edge's parked ``/wait``: no
+        thread blocks on the job.  A job that is *already* terminal fires
+        synchronously during registration (the bus replays history into new
+        subscriptions), so a finish racing the registration is never lost.
+        Close the returned subscription to cancel.
+
+        Raises:
+            TrialError: unknown job id.
+        """
+        fired = threading.Event()
+
+        def observe(event: Event) -> None:
+            if (isinstance(event, JobStateChanged) and event.terminal
+                    and not fired.is_set()):
+                fired.set()
+                callback()
+
+        return self.subscribe(job_id, callback=observe)
+
+    def note_stream_drops(self, job_id: int, count: int) -> None:
+        """Fold transport-side stream drops into the bus's drop accounting.
+
+        The async edge bounds each streaming connection's frame queue
+        itself (drop-oldest); this routes those drops into the same
+        telemetry and ``anttune_event_queue_dropped_total`` series the
+        bus's own subscription queues use.
+        """
+        self._bus.note_drops(job_id, count)
+
     def open_event_stream(self, job_id: int, last_seq: int = -1,
-                          max_queue: int = 1024):
+                          max_queue: int = 1024,
+                          callback: Optional[Callable[[Event], None]] = None):
         """A job's full event history: durable backfill plus live stream.
 
         This is what the remote ``GET /v1/jobs/{id}/events?last_seq=`` serves
@@ -616,6 +650,10 @@ class AntTuneServer:
             last_seq: highest seq the caller already has; the backfill starts
                 after it.
             max_queue: live-subscription queue bound (drop-oldest).
+            callback: optional push delivery for the live side — forwarded
+                to :meth:`subscribe`, so the subscription replays history
+                and then delivers synchronously per publish instead of
+                queueing for iteration (the async edge's mode).
 
         Returns:
             ``(backfill, subscription)`` — an iterator over logged events
@@ -635,7 +673,8 @@ class AntTuneServer:
         logged = log is not None and log.has_job(job_id)
         if not known and not logged:
             raise TrialError(f"unknown job id {job_id}")
-        subscription = (self._bus.subscribe(job_id, max_queue=max_queue)
+        subscription = (self._bus.subscribe(job_id, callback=callback,
+                                            max_queue=max_queue)
                         if known else None)
         backfill = (log.read(job_id, after_seq=last_seq) if logged
                     else iter(()))
